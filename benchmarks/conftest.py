@@ -1,0 +1,28 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper at reduced scale (see
+DESIGN.md's substitution table) and prints the series the paper plots, so
+the run log doubles as the reproduction record in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+
+def print_series(title, xs, series):
+    """Print an aligned table: one x column plus one column per series."""
+    print(f"\n=== {title} ===")
+    names = list(series)
+    header = "x".ljust(10) + "".join(name.rjust(16) for name in names)
+    print(header)
+    for i, x in enumerate(xs):
+        row = str(x).ljust(10)
+        for name in names:
+            value = series[name][i]
+            row += (f"{value:.4f}" if isinstance(value, float) else str(value)).rjust(16)
+        print(row)
+
+
+@pytest.fixture
+def bench_rng():
+    return np.random.default_rng(2022)

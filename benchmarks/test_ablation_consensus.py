@@ -1,0 +1,67 @@
+"""Ablation: consensus algorithm choice and the BMA lookahead window.
+
+Two design choices DESIGN.md calls out:
+
+* the pipeline's default reconstructor is the two-way scan (as in the
+  paper's pipeline [19]); this ablation quantifies the accuracy ladder
+  one-way < two-way <= iterative on identical clusters;
+* the error-classification lookahead of the scan (the paper's worked
+  example uses 2; the implementation defaults to 3).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.channel import ErrorModel
+from repro.codec.basemap import bases_to_indices, random_bases
+from repro.consensus import (
+    IterativeReconstructor,
+    OneWayReconstructor,
+    TwoWayReconstructor,
+)
+
+LENGTH = 150
+ERROR_RATE = 0.08
+COVERAGE = 6
+TRIALS = 60
+
+
+def run_experiment(rng=2022):
+    generator = np.random.default_rng(rng)
+    algorithms = {
+        "one-way": OneWayReconstructor(),
+        "two-way": TwoWayReconstructor(),
+        "iterative": IterativeReconstructor(),
+        "lookahead=1": OneWayReconstructor(lookahead=1),
+        "lookahead=2": OneWayReconstructor(lookahead=2),
+        "lookahead=5": OneWayReconstructor(lookahead=5),
+    }
+    errors = {name: 0 for name in algorithms}
+    model = ErrorModel.uniform(ERROR_RATE)
+    for _ in range(TRIALS):
+        original = random_bases(LENGTH, generator)
+        reads = model.apply_many(original, COVERAGE, generator)
+        target = bases_to_indices(original)
+        for name, algorithm in algorithms.items():
+            estimate = algorithm.reconstruct_indices(
+                [bases_to_indices(r) for r in reads], LENGTH
+            )
+            errors[name] += int((estimate != target).sum())
+    total = TRIALS * LENGTH
+    return {name: count / total for name, count in errors.items()}
+
+
+def test_ablation_consensus(benchmark):
+    rates = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        "Ablation: consensus algorithms (p=8%, N=6, L=150), symbol error rate",
+        ["error_rate"],
+        {name: [value] for name, value in rates.items()},
+    )
+    # The accuracy ladder the pipeline's defaults rely on.
+    assert rates["two-way"] < rates["one-way"]
+    assert rates["iterative"] <= rates["two-way"] * 1.05
+    # Lookahead 1 cannot distinguish error types reliably; 2+ can.
+    assert rates["lookahead=2"] < rates["lookahead=1"]
+    # Diminishing returns beyond the default window.
+    assert rates["lookahead=5"] < rates["lookahead=1"]

@@ -1,0 +1,82 @@
+"""Ablation: technology trends exacerbate the skew (paper Section 3.3 / 8).
+
+Three trends the paper predicts will worsen the reliability bias:
+
+* longer molecules (synthesis improves) -> harder consensus, higher peak;
+* noisier sequencing (nanopore vs NGS) -> steeper curves;
+* indel-heavy enzymatic synthesis -> more skew than NGS at equal rates.
+
+This ablation measures the two-way peak error under each trend.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import positional_error_profile
+from repro.channel import (
+    ErrorModel,
+    enzymatic_synthesis_profile,
+    illumina_profile,
+    nanopore_profile,
+)
+from repro.consensus import TwoWayReconstructor
+
+COVERAGE = 6
+TRIALS = 50
+LENGTHS = (100, 200, 400)
+
+
+def _peak(profile):
+    length = len(profile)
+    return profile[length // 2 - length // 8: length // 2 + length // 8].mean()
+
+
+def run_experiment(rng=2022):
+    reconstructor = TwoWayReconstructor()
+    length_peaks = [
+        _peak(positional_error_profile(
+            reconstructor, length, ErrorModel.uniform(0.08), COVERAGE,
+            trials=TRIALS, rng=rng,
+        ))
+        for length in LENGTHS
+    ]
+    profile_peaks = {
+        "illumina@1%": _peak(positional_error_profile(
+            reconstructor, 200, illumina_profile(), COVERAGE,
+            trials=TRIALS, rng=rng,
+        )),
+        "nanopore@13%": _peak(positional_error_profile(
+            reconstructor, 200, nanopore_profile(), COVERAGE,
+            trials=TRIALS, rng=rng,
+        )),
+        "enzymatic@13%": _peak(positional_error_profile(
+            reconstructor, 200,
+            enzymatic_synthesis_profile(0.13), COVERAGE,
+            trials=TRIALS, rng=rng,
+        )),
+    }
+    return length_peaks, profile_peaks
+
+
+def test_ablation_technology_trends(benchmark):
+    length_peaks, profile_peaks = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_series(
+        "Ablation: mid-strand peak error vs strand length (p=8%, N=6)",
+        list(LENGTHS),
+        {"peak": length_peaks},
+    )
+    print_series(
+        "Ablation: mid-strand peak error by technology profile (L=200, N=6)",
+        ["peak"],
+        {name: [value] for name, value in profile_peaks.items()},
+    )
+    # Longer molecules -> monotonically worse peak.
+    assert length_peaks[0] < length_peaks[1] < length_peaks[2]
+    # NGS is easy; nanopore rates make the middle substantially unreliable.
+    assert profile_peaks["illumina@1%"] < 0.02
+    assert profile_peaks["nanopore@13%"] > 10 * profile_peaks["illumina@1%"]
+    # At the same total rate, the indel-heavy enzymatic profile is worse
+    # than the (more substitution-heavy) nanopore breakdown.
+    assert profile_peaks["enzymatic@13%"] > profile_peaks["nanopore@13%"]

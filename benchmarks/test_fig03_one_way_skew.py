@@ -1,0 +1,45 @@
+"""Figure 3: positional error distribution of one-way reconstruction.
+
+Paper setup: P = 5%, N = 5, L = 200, DNA alphabet. Expected shape: error
+probability near zero at the start and rising sharply towards the end of
+the strand (reaching roughly 0.2-0.25 at the far end in the paper).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import positional_error_profile
+from repro.channel import ErrorModel
+from repro.consensus import OneWayReconstructor
+
+LENGTH = 200
+ERROR_RATE = 0.05
+COVERAGE = 5
+TRIALS = 120
+
+
+def run_experiment(trials=TRIALS, rng=2022):
+    return positional_error_profile(
+        OneWayReconstructor(),
+        length=LENGTH,
+        error_model=ErrorModel.uniform(ERROR_RATE),
+        coverage=COVERAGE,
+        trials=trials,
+        rng=rng,
+    )
+
+
+def test_fig03_one_way_skew(benchmark):
+    profile = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    buckets = profile.reshape(20, 10).mean(axis=1)
+    print_series(
+        "Fig 3: one-way positional error (P=5%, N=5, L=200)",
+        [f"{10*i}-{10*i+9}" for i in range(20)],
+        {"p_error": buckets.tolist()},
+    )
+    # The paper's qualitative shape: monotone-ish rise, sharp at the end.
+    assert buckets[0] < 0.02
+    assert buckets[-1] > 0.10
+    assert buckets[-1] > 5 * buckets[0]
+    # The rise is genuinely positional: the second half dominates the first.
+    assert profile[100:].mean() > 2 * profile[:100].mean()

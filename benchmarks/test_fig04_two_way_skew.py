@@ -1,0 +1,50 @@
+"""Figure 4: positional error distribution of two-way reconstruction.
+
+Paper setup: P = 5%, N = 5, L = 200. Expected shape: low error at both
+ends, with the peak moved to the middle of the strand (about half the
+one-way peak height).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import positional_error_profile
+from repro.channel import ErrorModel
+from repro.consensus import OneWayReconstructor, TwoWayReconstructor
+
+LENGTH = 200
+ERROR_RATE = 0.05
+COVERAGE = 5
+TRIALS = 120
+
+
+def run_experiment(trials=TRIALS, rng=2022):
+    return positional_error_profile(
+        TwoWayReconstructor(),
+        length=LENGTH,
+        error_model=ErrorModel.uniform(ERROR_RATE),
+        coverage=COVERAGE,
+        trials=trials,
+        rng=rng,
+    )
+
+
+def test_fig04_two_way_skew(benchmark):
+    profile = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    buckets = profile.reshape(20, 10).mean(axis=1)
+    print_series(
+        "Fig 4: two-way positional error (P=5%, N=5, L=200)",
+        [f"{10*i}-{10*i+9}" for i in range(20)],
+        {"p_error": buckets.tolist()},
+    )
+    edges = np.concatenate([profile[:20], profile[-20:]]).mean()
+    middle = profile[80:120].mean()
+    # Low at both ends, peak in the middle.
+    assert edges < 0.02
+    assert middle > 2 * edges
+    # The two-way peak sits well below the one-way far-end error.
+    one_way = positional_error_profile(
+        OneWayReconstructor(), LENGTH, ErrorModel.uniform(ERROR_RATE),
+        COVERAGE, trials=60, rng=7,
+    )
+    assert middle < one_way[-40:].mean()

@@ -1,0 +1,79 @@
+"""Figure 5: the skew persists in a state-of-the-art reconstructor.
+
+Paper setup: L = 200, parameter study over (P, N) with uniform error
+breakdown, plus two special channels: 5% insertions + 5% deletions (no
+substitutions), and 10% substitutions only. The paper's observations:
+
+* the skew (middle peak) is present for every indel-carrying channel;
+* higher P raises the peak, higher N lowers it;
+* substitutions alone produce *no* skew (flat, near-zero curve);
+* indels+substitutions is strictly harder than indels alone.
+
+The reconstructor here is our iterative realign-and-vote algorithm, the
+stand-in for Sabary et al. (see DESIGN.md substitutions).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import positional_error_profile
+from repro.channel import ErrorModel
+from repro.consensus import IterativeReconstructor
+
+LENGTH = 200
+TRIALS = 60
+
+CHANNELS = {
+    "P=5%,N=5": (ErrorModel.uniform(0.05), 5),
+    "P=10%,N=5": (ErrorModel.uniform(0.10), 5),
+    "P=15%,N=5": (ErrorModel.uniform(0.15), 5),
+    "P=15%,N=6": (ErrorModel.uniform(0.15), 6),
+    "5%ins+5%del": (ErrorModel.indels_only(0.05, 0.05), 5),
+    "10%sub": (ErrorModel.substitutions_only(0.10), 5),
+}
+
+
+def run_experiment(trials=TRIALS, rng=2022):
+    profiles = {}
+    for name, (model, coverage) in CHANNELS.items():
+        profiles[name] = positional_error_profile(
+            IterativeReconstructor(), LENGTH, model, coverage,
+            trials=trials, rng=rng,
+        )
+    return profiles
+
+
+def test_fig05_iterative_skew(benchmark):
+    profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    buckets = {
+        name: profile.reshape(20, 10).mean(axis=1)
+        for name, profile in profiles.items()
+    }
+    print_series(
+        "Fig 5: skew of the iterative reconstructor (L=200)",
+        [f"{10*i}" for i in range(20)],
+        {name: values.tolist() for name, values in buckets.items()},
+    )
+
+    def middle(profile):
+        return profile[70:130].mean()
+
+    def edges(profile):
+        return np.concatenate([profile[:20], profile[-20:]]).mean()
+
+    # Skew present for all indel-carrying channels.
+    for name in ("P=5%,N=5", "P=10%,N=5", "P=15%,N=5", "P=15%,N=6",
+                 "5%ins+5%del"):
+        assert middle(profiles[name]) > 2 * edges(profiles[name]), name
+    # Peak grows with P ...
+    assert middle(profiles["P=15%,N=5"]) > middle(profiles["P=10%,N=5"])
+    assert middle(profiles["P=10%,N=5"]) > middle(profiles["P=5%,N=5"])
+    # ... and shrinks with an extra read.
+    assert middle(profiles["P=15%,N=6"]) < middle(profiles["P=15%,N=5"])
+    # Substitutions alone: no skew, easy reconstruction (flat purple line).
+    assert profiles["10%sub"].mean() < 0.02
+    assert middle(profiles["10%sub"]) < 1.5 * max(edges(profiles["10%sub"]), 1e-3)
+    # Substitutions amplify indels (green vs purple in the paper): P=15%
+    # uniform carries the same 10% indel mass as the indel-only channel
+    # *plus* 5% substitutions, and is strictly harder in the middle.
+    assert middle(profiles["P=15%,N=5"]) > middle(profiles["5%ins+5%del"])

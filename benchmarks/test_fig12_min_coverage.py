@@ -1,0 +1,49 @@
+"""Figure 12: minimum coverage for error-free decoding vs error rate.
+
+Paper setup: error rates 3/6/9/12%, redundancy 18.4%; minimum sequencing
+coverage needed for exact (error-free) decoding. Expected result: both
+curves grow with the error rate, and Gini needs 20% (low error) to 30%
+(high error) less coverage than the baseline — the paper's headline
+read-cost saving.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import min_coverage_for_error_free
+from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+
+MATRIX = MatrixConfig(m=8, n_columns=160, nsym=30, payload_rows=24)
+ERROR_RATES = (0.03, 0.06, 0.09, 0.12)
+COVERAGES = range(2, 26)
+TRIALS = 3
+
+
+def run_experiment(rng=2022):
+    results = {"baseline": [], "gini": []}
+    for layout in results:
+        pipeline = DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout=layout))
+        for rate in ERROR_RATES:
+            results[layout].append(min_coverage_for_error_free(
+                pipeline, rate, COVERAGES, trials=TRIALS, rng=rng,
+            ))
+    return results
+
+
+def test_fig12_min_coverage(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    baseline = results["baseline"]
+    gini = results["gini"]
+    savings = [100 * (b - g) / b for b, g in zip(baseline, gini)]
+    print_series(
+        "Fig 12: min coverage for error-free decoding",
+        [f"{int(100*r)}%" for r in ERROR_RATES],
+        {"baseline": baseline, "gini": gini, "saving_%": savings},
+    )
+    # Coverage demand grows with the error rate for both systems.
+    assert baseline[-1] > baseline[0]
+    assert gini[-1] >= gini[0]
+    # Gini never needs more coverage, and saves clearly at high error rates
+    # (the paper reports 20-30%).
+    assert all(g <= b for g, b in zip(gini, baseline))
+    assert savings[-1] >= 10.0

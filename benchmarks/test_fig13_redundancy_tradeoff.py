@@ -1,0 +1,59 @@
+"""Figure 13: minimum coverage vs effective redundancy at a fixed 9% error.
+
+Paper setup: Gini's redundancy is progressively reduced (by injecting
+controlled erasures that consume parity) from 18.4% down to 6%, and the
+minimum coverage for error-free decoding is measured; the baseline at
+full 18.4% redundancy is the reference line. The paper's finding: Gini
+still matches the baseline's coverage with only ~6% redundancy — a 67%
+redundancy reduction, i.e. ~12.5% of total synthesis cost.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import min_coverage_for_error_free, min_coverage_vs_redundancy
+from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+
+MATRIX = MatrixConfig(m=8, n_columns=160, nsym=30, payload_rows=24)
+ERROR_RATE = 0.09
+COVERAGES = range(2, 30)
+TRIALS = 3
+# nsym=30 of 160 columns is 18.75% redundancy; the sweep mirrors the
+# paper's 18.4% -> 15% -> 12% -> 9% -> 6% effective-redundancy axis.
+EFFECTIVE_NSYM = (30, 24, 19, 14, 10)
+
+
+def run_experiment(rng=2022):
+    gini_curve = min_coverage_vs_redundancy(
+        MATRIX, layout="gini", error_rate=ERROR_RATE,
+        effective_nsym_values=EFFECTIVE_NSYM,
+        coverages=COVERAGES, trials=TRIALS, rng=rng,
+    )
+    baseline_reference = min_coverage_for_error_free(
+        DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="baseline")),
+        ERROR_RATE, COVERAGES, trials=TRIALS, rng=rng,
+    )
+    return gini_curve, baseline_reference
+
+
+def test_fig13_redundancy_tradeoff(benchmark):
+    gini_curve, baseline_reference = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    redundancy_pct = [100 * n / MATRIX.n_columns for n, _ in gini_curve]
+    coverages = [c for _, c in gini_curve]
+    print_series(
+        f"Fig 13: min coverage vs effective redundancy (p=9%); "
+        f"baseline@18.75% = {baseline_reference:.1f}",
+        [f"{p:.1f}%" for p in redundancy_pct],
+        {"gini_min_cov": coverages},
+    )
+    # Less redundancy -> (weakly) more coverage needed.
+    assert all(a <= b + 1e-9 for a, b in zip(coverages, coverages[1:]))
+    # Full-redundancy Gini beats the baseline reference ...
+    assert coverages[0] < baseline_reference
+    # ... and some strictly smaller redundancy still matches the baseline
+    # (the paper's 67%-redundancy-reduction headline, scaled).
+    matching = [p for p, c in zip(redundancy_pct, coverages)
+                if c <= baseline_reference]
+    assert min(matching) < redundancy_pct[0]

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Gini's read-cost and write-cost savings.
+
+Miniature of the paper's Figures 12 and 13: measures the minimum
+sequencing coverage for exact, error-free decoding of a unit under the
+baseline layout and under Gini, across error rates; then fixes the error
+rate and shrinks Gini's *effective* redundancy until it stops matching
+the baseline's coverage. Run with::
+
+    python examples/read_cost_savings.py
+"""
+
+from repro.analysis import min_coverage_for_error_free, min_coverage_vs_redundancy
+from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+
+MATRIX = MatrixConfig(m=8, n_columns=100, nsym=18, payload_rows=12)
+
+
+def main() -> None:
+    coverages = range(2, 24)
+    print("minimum coverage for error-free decoding")
+    print("error-rate   baseline   gini    saving")
+    for rate in (0.06, 0.12):
+        base = min_coverage_for_error_free(
+            DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="baseline")),
+            rate, coverages, trials=2, rng=0,
+        )
+        gini = min_coverage_for_error_free(
+            DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="gini")),
+            rate, coverages, trials=2, rng=0,
+        )
+        saving = 100 * (base - gini) / base
+        print(f"{rate:10.0%} {base:10.1f} {gini:6.1f} {saving:8.1f}%")
+
+    print("\nGini: min coverage vs effective redundancy (error rate 9%)")
+    base_reference = min_coverage_for_error_free(
+        DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="baseline")),
+        0.09, coverages, trials=2, rng=0,
+    )
+    print(f"baseline reference at full redundancy: {base_reference:.1f}")
+    print("effective-redundancy   gini-min-coverage")
+    for nsym, coverage in min_coverage_vs_redundancy(
+        MATRIX, "gini", 0.09,
+        effective_nsym_values=(18, 14, 10, 7),
+        coverages=coverages, trials=2, rng=0,
+    ):
+        marker = "  <= matches baseline" if coverage <= base_reference else ""
+        print(f"{100 * nsym / MATRIX.n_columns:20.1f}% {coverage:16.1f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Visualize the reliability skew (the paper's Figures 3 and 4).
+
+Measures the per-position error probability of one-way and two-way trace
+reconstruction over a noisy cluster and renders both curves as ASCII
+charts. Run with::
+
+    python examples/skew_profile.py
+"""
+
+from repro.analysis import positional_error_profile
+from repro.analysis.plotting import ascii_chart
+from repro.channel import ErrorModel
+from repro.consensus import OneWayReconstructor, TwoWayReconstructor
+
+LENGTH = 200
+ERROR_RATE = 0.05
+COVERAGE = 5
+TRIALS = 60
+
+
+def main() -> None:
+    print(f"profiling reconstruction of L={LENGTH} strands "
+          f"(p={ERROR_RATE:.0%}, N={COVERAGE}, {TRIALS} trials) ...\n")
+    one_way = positional_error_profile(
+        OneWayReconstructor(), LENGTH, ErrorModel.uniform(ERROR_RATE),
+        COVERAGE, trials=TRIALS, rng=0,
+    )
+    two_way = positional_error_profile(
+        TwoWayReconstructor(), LENGTH, ErrorModel.uniform(ERROR_RATE),
+        COVERAGE, trials=TRIALS, rng=0,
+    )
+    smooth = 10
+    chart = ascii_chart(
+        {
+            "one-way": one_way.reshape(-1, smooth).mean(axis=1),
+            "two-way": two_way.reshape(-1, smooth).mean(axis=1),
+        },
+        y_label="P(incorrect base)",
+        x_label=f"position within the strand (0 .. {LENGTH})",
+    )
+    print(chart)
+    print(
+        "\nOne-way reconstruction degrades towards the far end (Fig 3);"
+        "\nthe two-way scan keeps both ends reliable and peaks in the middle"
+        " (Fig 4)."
+        "\nThis positional bias is what Gini removes and DnaMapper exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

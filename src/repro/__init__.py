@@ -1,0 +1,134 @@
+"""repro — a reproduction of "Managing Reliability Bias in DNA Storage".
+
+Lin, Tabatabaee, Pote, Jevdjic — ISCA 2022 (arXiv:2204.12261).
+
+The package implements the complete DNA data-storage stack the paper
+builds on (Reed-Solomon matrix architecture, IDS channel, trace
+reconstruction, clustering, primers, an in-house JPEG codec and ChaCha20
+encryption for the workload) and the paper's two contributions:
+
+* **Gini** — diagonal interleaving of ECC codewords across molecules so
+  every codeword sees the same number of errors regardless of where in
+  the molecules the errors strike (de-biasing the medium);
+* **DnaMapper** — priority-based mapping that stores the most important
+  bits in the most reliable molecule positions (leveraging the bias).
+
+Quick start::
+
+    import numpy as np
+    from repro import (MatrixConfig, PipelineConfig, DnaStoragePipeline,
+                       ErrorModel, SequencingSimulator, FixedCoverage)
+
+    config = PipelineConfig(
+        matrix=MatrixConfig(m=8, n_columns=120, nsym=22, payload_rows=16),
+        layout="gini",
+    )
+    pipeline = DnaStoragePipeline(config)
+    bits = np.random.default_rng(0).integers(0, 2, pipeline.capacity_bits,
+                                             dtype=np.uint8)
+    unit = pipeline.encode(bits)
+    simulator = SequencingSimulator(ErrorModel.uniform(0.06), FixedCoverage(10))
+    clusters = simulator.sequence(unit.strands, rng=0)
+    decoded, report = pipeline.decode(clusters, bits.size)
+    assert report.clean and np.array_equal(decoded, bits)
+"""
+
+from repro.channel import (
+    CoverageModel,
+    ErrorModel,
+    FixedCoverage,
+    GammaCoverage,
+    ReadCluster,
+    ReadPool,
+    SequencingSimulator,
+    SynthesisSimulator,
+    TwoStageSequencer,
+)
+from repro.codec import DirectCodec, RotationCodec
+from repro.consensus import (
+    IterativeReconstructor,
+    OneWayReconstructor,
+    OptimalMedianReconstructor,
+    PosteriorReconstructor,
+    TwoWayReconstructor,
+)
+from repro.core import (
+    BaselineLayout,
+    DecodeReport,
+    DnaMapperLayout,
+    DnaStore,
+    DnaStoragePipeline,
+    EncodedUnit,
+    GiniLayout,
+    MatrixConfig,
+    PipelineConfig,
+    identity_ranking,
+    oracle_ranking,
+    positional_ranking,
+    proportional_share_ranking,
+)
+from repro.ecc import DecodeFailure, GaloisField, ReedSolomon, UnevenEccScheme
+from repro.files import FileEntry, pack_archive, unpack_archive
+from repro.media import (
+    ColorJpegCodec,
+    JpegCodec,
+    psnr,
+    quality_loss_db,
+    synth_image,
+    synth_image_rgb,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # channel
+    "ErrorModel",
+    "CoverageModel",
+    "FixedCoverage",
+    "GammaCoverage",
+    "ReadCluster",
+    "ReadPool",
+    "SequencingSimulator",
+    "SynthesisSimulator",
+    "TwoStageSequencer",
+    # codecs
+    "DirectCodec",
+    "RotationCodec",
+    # consensus
+    "OneWayReconstructor",
+    "TwoWayReconstructor",
+    "IterativeReconstructor",
+    "OptimalMedianReconstructor",
+    "PosteriorReconstructor",
+    # core
+    "MatrixConfig",
+    "PipelineConfig",
+    "DnaStoragePipeline",
+    "DnaStore",
+    "EncodedUnit",
+    "DecodeReport",
+    "BaselineLayout",
+    "GiniLayout",
+    "DnaMapperLayout",
+    "identity_ranking",
+    "positional_ranking",
+    "proportional_share_ranking",
+    "oracle_ranking",
+    # ecc
+    "GaloisField",
+    "ReedSolomon",
+    "DecodeFailure",
+    "UnevenEccScheme",
+    # files
+    "FileEntry",
+    "pack_archive",
+    "unpack_archive",
+    # media
+    "JpegCodec",
+    "ColorJpegCodec",
+    "synth_image",
+    "synth_image_rgb",
+    "psnr",
+    "quality_loss_db",
+]

@@ -1,0 +1,34 @@
+"""Analysis tooling: positional error profiles, skew statistics, and the
+experiment harnesses behind every figure of the paper's evaluation.
+"""
+
+from repro.analysis.skew import (
+    positional_error_profile,
+    positional_error_profile_binary,
+)
+from repro.analysis.cost import CostModel
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.stats import errors_per_codeword, gini_coefficient
+from repro.analysis.experiments import (
+    CATASTROPHIC_LOSS_DB,
+    ImageStoreExperiment,
+    RetrievalResult,
+    StoredImage,
+    min_coverage_for_error_free,
+    min_coverage_vs_redundancy,
+)
+
+__all__ = [
+    "positional_error_profile",
+    "positional_error_profile_binary",
+    "gini_coefficient",
+    "errors_per_codeword",
+    "min_coverage_for_error_free",
+    "min_coverage_vs_redundancy",
+    "ImageStoreExperiment",
+    "RetrievalResult",
+    "StoredImage",
+    "CATASTROPHIC_LOSS_DB",
+    "CostModel",
+    "ascii_chart",
+]

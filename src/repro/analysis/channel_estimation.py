@@ -1,0 +1,122 @@
+"""Channel-parameter estimation from reads.
+
+The paper argues that unequal ECC fails because the channel's error
+profile at *read time* is unknowable at *write time*. A real system still
+wants to know the current profile — e.g. to choose the sequencing
+coverage for the rest of a retrieval after a pilot run. This module
+estimates per-type error rates (insertion / deletion / substitution) by
+aligning reads against a reference (the known strand in calibration, or
+the consensus estimate in blind operation) and counting alignment
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.codec.basemap import bases_to_indices
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ChannelEstimate:
+    """Estimated per-position error rates.
+
+    Attributes:
+        p_insertion / p_deletion / p_substitution: per-reference-position
+            event rate estimates.
+        n_positions: total reference positions observed (estimation weight).
+    """
+
+    p_insertion: float
+    p_deletion: float
+    p_substitution: float
+    n_positions: int
+
+    @property
+    def total_rate(self) -> float:
+        return self.p_insertion + self.p_deletion + self.p_substitution
+
+    @property
+    def indel_fraction(self) -> float:
+        """Fraction of errors that are indels (the paper's §8 metric)."""
+        if self.total_rate == 0:
+            return 0.0
+        return (self.p_insertion + self.p_deletion) / self.total_rate
+
+
+def count_alignment_operations(reference: str, read: str) -> tuple:
+    """(matches, substitutions, deletions, insertions) of one alignment.
+
+    Unit-cost global alignment; deletions are reference characters the
+    read lost, insertions are extra read characters.
+    """
+    a = bases_to_indices(reference) if reference else np.zeros(0, dtype=np.uint8)
+    b = bases_to_indices(read) if read else np.zeros(0, dtype=np.uint8)
+    n, m = len(a), len(b)
+    matrix = np.zeros((n + 1, m + 1), dtype=np.int32)
+    matrix[0] = np.arange(m + 1)
+    matrix[:, 0] = np.arange(n + 1)
+    offsets = np.arange(m + 1)
+    for i in range(1, n + 1):
+        previous = matrix[i - 1]
+        substitution = (b != a[i - 1]).astype(np.int32)
+        candidates = np.empty(m + 1, dtype=np.int32)
+        candidates[0] = previous[0] + 1
+        candidates[1:] = np.minimum(previous[:-1] + substitution,
+                                    previous[1:] + 1)
+        matrix[i] = np.minimum.accumulate(candidates - offsets) + offsets
+    matches = substitutions = deletions = insertions = 0
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            if matrix[i, j] == matrix[i - 1, j - 1] + cost:
+                if cost == 0:
+                    matches += 1
+                else:
+                    substitutions += 1
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and matrix[i, j] == matrix[i - 1, j] + 1:
+            deletions += 1
+            i -= 1
+        else:
+            insertions += 1
+            j -= 1
+    return matches, substitutions, deletions, insertions
+
+
+def estimate_channel(
+    references: Sequence[str], reads_per_reference: Sequence[Sequence[str]]
+) -> ChannelEstimate:
+    """Estimate IDS rates from reads aligned to their references.
+
+    Args:
+        references: the true (or consensus-estimated) strands.
+        reads_per_reference: for each reference, its noisy reads.
+    """
+    if len(references) != len(reads_per_reference):
+        raise ValueError("references and read groups must align")
+    total_positions = 0
+    substitutions = deletions = insertions = 0
+    for reference, reads in zip(references, reads_per_reference):
+        for read in reads:
+            _, subs, dels, ins = count_alignment_operations(reference, read)
+            substitutions += subs
+            deletions += dels
+            insertions += ins
+            total_positions += len(reference)
+    check_non_negative(total_positions, "observed positions")
+    if total_positions == 0:
+        return ChannelEstimate(0.0, 0.0, 0.0, 0)
+    return ChannelEstimate(
+        p_insertion=insertions / total_positions,
+        p_deletion=deletions / total_positions,
+        p_substitution=substitutions / total_positions,
+        n_positions=total_positions,
+    )

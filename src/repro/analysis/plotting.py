@@ -1,0 +1,105 @@
+"""Terminal plotting: dependency-free ASCII charts for the examples.
+
+The repository has no plotting dependency, so experiment scripts render
+their curves as ASCII art. This is intentionally minimal — a fixed-size
+grid, one or more labelled series, automatic y-scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 72,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more equally-long series as an ASCII line chart.
+
+    Args:
+        series: name -> y-values. All series must have the same length and
+            are drawn over the same implicit 0..n-1 x axis, compressed or
+            stretched to ``width`` columns.
+        height / width: plot area size in characters.
+        y_label / x_label: optional axis captions.
+
+    Returns:
+        The chart as a multi-line string (also suitable for ``print``).
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n_points,) = lengths
+    if n_points < 2:
+        raise ValueError("series need at least two points")
+    if height < 3 or width < 8:
+        raise ValueError("chart area too small")
+
+    all_values = np.concatenate([np.asarray(v, dtype=float)
+                                 for v in series.values()])
+    y_min = float(np.nanmin(all_values))
+    y_max = float(np.nanmax(all_values))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        values = np.asarray(values, dtype=float)
+        columns = np.linspace(0, width - 1, n_points).round().astype(int)
+        rows = ((values - y_min) / (y_max - y_min) * (height - 1))
+        rows = (height - 1 - rows.round()).astype(int)
+        previous = None
+        for column, row in zip(columns, rows):
+            if np.isnan(row):
+                previous = None
+                continue
+            grid[int(row)][int(column)] = mark
+            if previous is not None:
+                _draw_segment(grid, previous, (int(column), int(row)), mark)
+            previous = (int(column), int(row))
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_max:8.3f} |"
+        elif i == height - 1:
+            prefix = f"{y_min:8.3f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, mark) -> None:
+    """Fill intermediate cells between two plotted points (vertical steps)."""
+    (x0, y0), (x1, y1) = start, end
+    if x1 == x0:
+        lo, hi = sorted((y0, y1))
+        for y in range(lo + 1, hi):
+            if grid[y][x0] == " ":
+                grid[y][x0] = "."
+        return
+    for x in range(x0 + 1, x1):
+        t = (x - x0) / (x1 - x0)
+        y = int(round(y0 + t * (y1 - y0)))
+        if grid[y][x] == " ":
+            grid[y][x] = "."

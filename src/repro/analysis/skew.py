@@ -1,0 +1,89 @@
+"""Positional error profiling — the measurement behind Figures 3-6.
+
+Runs a reconstructor over many randomly generated clusters and records,
+for every position of the strand, how often the reconstructed symbol
+differs from the original. The resulting per-position error-probability
+curve is the paper's "reliability skew".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.errors import ErrorModel
+from repro.consensus.base import Reconstructor
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def positional_error_profile(
+    reconstructor: Reconstructor,
+    length: int,
+    error_model: ErrorModel,
+    coverage: int,
+    trials: int,
+    rng: RngLike = None,
+    n_alphabet: int = 4,
+) -> np.ndarray:
+    """Per-position error frequency of a reconstructor.
+
+    Args:
+        reconstructor: algorithm under test (must handle ``n_alphabet``).
+        length: strand length L.
+        error_model: channel noise per read.
+        coverage: reads per cluster N.
+        trials: number of independent clusters.
+        rng: random source.
+        n_alphabet: alphabet size of the generated strands.
+
+    Returns:
+        Array of ``length`` error frequencies in [0, 1].
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if coverage < 1:
+        raise ValueError(f"coverage must be >= 1, got {coverage}")
+    generator = ensure_rng(rng)
+    errors = np.zeros(length, dtype=np.float64)
+    for _ in range(trials):
+        original = generator.integers(0, n_alphabet, size=length).astype(np.uint8)
+        reads = [
+            error_model.apply_indices(original, generator, n_alphabet=n_alphabet)
+            for _ in range(coverage)
+        ]
+        estimate = reconstructor.reconstruct_indices(reads, length)
+        errors += estimate != original
+    return errors / trials
+
+
+def positional_error_profile_binary(
+    reconstructor: Reconstructor,
+    length: int,
+    error_model: ErrorModel,
+    coverage: int,
+    trials: int,
+    rng: RngLike = None,
+    adversarial: bool = False,
+) -> np.ndarray:
+    """Binary-alphabet profile, optionally with adversarial tie-breaking.
+
+    This is the Figure 6 measurement: ``adversarial=True`` requires the
+    reconstructor to expose ``reconstruct_adversarial`` (the optimal median
+    search), which picks among tied optima the string *most accurate in
+    the middle* — attempting to produce the opposite skew.
+    """
+    generator = ensure_rng(rng)
+    errors = np.zeros(length, dtype=np.float64)
+    for _ in range(trials):
+        original = generator.integers(0, 2, size=length).astype(np.uint8)
+        reads = [
+            error_model.apply_indices(original, generator, n_alphabet=2)
+            for _ in range(coverage)
+        ]
+        if adversarial:
+            estimate = reconstructor.reconstruct_adversarial(
+                reads, length, original.astype(np.int64)
+            )
+        else:
+            estimate = reconstructor.reconstruct_indices(reads, length)
+        errors += estimate != original
+    return errors / trials

@@ -1,0 +1,36 @@
+"""DNA channel simulation: IDS errors, coverage, and sequencing.
+
+Implements the paper's error model (Section 3): each position of a strand
+independently suffers an insertion, deletion, or substitution with total
+probability ``p`` (split uniformly by default, configurable otherwise), and
+its retrieval model (Section 6.1.2): per-cluster read counts follow a Gamma
+distribution around the target sequencing coverage, and read pools allow
+progressively increasing coverage without regenerating reads.
+"""
+
+from repro.channel.errors import ErrorModel
+from repro.channel.coverage import CoverageModel, FixedCoverage, GammaCoverage
+from repro.channel.sequencer import ReadCluster, ReadPool, SequencingSimulator
+from repro.channel.synthesis import SynthesisSimulator, TwoStageSequencer
+from repro.channel.profiles import (
+    enzymatic_synthesis_profile,
+    illumina_profile,
+    nanopore_profile,
+    uniform_profile,
+)
+
+__all__ = [
+    "ErrorModel",
+    "CoverageModel",
+    "FixedCoverage",
+    "GammaCoverage",
+    "ReadCluster",
+    "ReadPool",
+    "SequencingSimulator",
+    "SynthesisSimulator",
+    "TwoStageSequencer",
+    "illumina_profile",
+    "nanopore_profile",
+    "enzymatic_synthesis_profile",
+    "uniform_profile",
+]

@@ -1,0 +1,151 @@
+"""The insertion/deletion/substitution (IDS) error model of Section 3.
+
+For an original strand ``s`` of length L, each position ``i`` independently
+experiences exactly one of four outcomes:
+
+* deletion (probability ``p_del``): ``s[i]`` is dropped;
+* insertion (probability ``p_ins``): a base chosen uniformly from
+  {A,C,G,T} is emitted *before* ``s[i]``, which is kept;
+* substitution (probability ``p_sub``): ``s[i]`` is replaced by a base
+  chosen uniformly from the other three;
+* no error (probability ``1 - p_del - p_ins - p_sub``).
+
+The paper's default is ``p_del = p_ins = p_sub = p/3``; Figure 5's
+indel-only and substitution-only lines use custom breakdowns, which
+:meth:`ErrorModel.with_breakdown` supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.basemap import bases_to_indices, indices_to_bases
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Per-position IDS error probabilities.
+
+    Attributes:
+        p_insertion: probability of an insertion event at each position.
+        p_deletion: probability of a deletion event at each position.
+        p_substitution: probability of a substitution event at each position.
+    """
+
+    p_insertion: float
+    p_deletion: float
+    p_substitution: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_insertion, "p_insertion")
+        check_probability(self.p_deletion, "p_deletion")
+        check_probability(self.p_substitution, "p_substitution")
+        if self.total_rate > 1.0:
+            raise ValueError(
+                f"total error rate {self.total_rate} exceeds 1.0"
+            )
+
+    @classmethod
+    def uniform(cls, total_rate: float) -> "ErrorModel":
+        """The paper's default: ``total_rate`` split equally across types."""
+        check_probability(total_rate, "total_rate")
+        share = total_rate / 3.0
+        return cls(p_insertion=share, p_deletion=share, p_substitution=share)
+
+    @classmethod
+    def with_breakdown(
+        cls, total_rate: float, ins_frac: float, del_frac: float, sub_frac: float
+    ) -> "ErrorModel":
+        """Split ``total_rate`` according to the given type fractions."""
+        check_probability(total_rate, "total_rate")
+        fractions = np.array([ins_frac, del_frac, sub_frac], dtype=float)
+        if np.any(fractions < 0) or not np.isclose(fractions.sum(), 1.0):
+            raise ValueError("type fractions must be non-negative and sum to 1")
+        return cls(
+            p_insertion=total_rate * ins_frac,
+            p_deletion=total_rate * del_frac,
+            p_substitution=total_rate * sub_frac,
+        )
+
+    @classmethod
+    def substitutions_only(cls, total_rate: float) -> "ErrorModel":
+        """Substitution-only channel (the paper's no-skew control)."""
+        return cls(p_insertion=0.0, p_deletion=0.0, p_substitution=total_rate)
+
+    @classmethod
+    def indels_only(cls, ins_rate: float, del_rate: float) -> "ErrorModel":
+        """Insertions + deletions without substitutions (Fig 5, purple line)."""
+        return cls(p_insertion=ins_rate, p_deletion=del_rate, p_substitution=0.0)
+
+    @property
+    def total_rate(self) -> float:
+        """Probability that a position suffers any error."""
+        return self.p_insertion + self.p_deletion + self.p_substitution
+
+    @property
+    def is_noiseless(self) -> bool:
+        return self.total_rate == 0.0
+
+    def apply(self, strand: str, rng: RngLike = None) -> str:
+        """Return one noisy copy of ``strand``."""
+        return indices_to_bases(self.apply_indices(bases_to_indices(strand), rng))
+
+    def apply_indices(
+        self, indices: np.ndarray, rng: RngLike = None, n_alphabet: int = 4
+    ) -> np.ndarray:
+        """Vectorized noisy-copy generation over symbol-index arrays.
+
+        ``n_alphabet`` defaults to 4 (DNA); the binary analyses of the
+        paper's Section 3.2 pass 2.
+        """
+        if n_alphabet < 2:
+            raise ValueError(f"n_alphabet must be >= 2, got {n_alphabet}")
+        generator = ensure_rng(rng)
+        indices = np.asarray(indices, dtype=np.uint8)
+        length = indices.size
+        if length == 0 or self.is_noiseless:
+            return indices.copy()
+        draws = generator.random(length)
+        deleted = draws < self.p_deletion
+        inserted = (draws >= self.p_deletion) & (
+            draws < self.p_deletion + self.p_insertion
+        )
+        substituted = (
+            draws >= self.p_deletion + self.p_insertion
+        ) & (draws < self.total_rate)
+
+        emitted = indices.copy()
+        n_subs = int(substituted.sum())
+        if n_subs:
+            # Adding 1..n-1 mod n guarantees a *different* symbol.
+            offsets = generator.integers(1, n_alphabet, size=n_subs, dtype=np.uint8)
+            emitted[substituted] = (emitted[substituted] + offsets) % n_alphabet
+
+        # Each position emits 0 (deletion), 1 (keep/substitute) or 2
+        # (insertion: the random base, then the original) output bases.
+        counts = np.ones(length, dtype=np.int64)
+        counts[deleted] = 0
+        counts[inserted] = 2
+        starts = np.cumsum(counts) - counts
+        out = np.zeros(int(counts.sum()), dtype=np.uint8)
+        survivors = ~deleted
+        out[starts[survivors] + counts[survivors] - 1] = emitted[survivors]
+        n_ins = int(inserted.sum())
+        if n_ins:
+            out[starts[inserted]] = generator.integers(
+                0, n_alphabet, size=n_ins, dtype=np.uint8
+            )
+        return out
+
+    def apply_many(self, strand: str, n_copies: int, rng: RngLike = None) -> list:
+        """Generate ``n_copies`` independent noisy copies of one strand."""
+        generator = ensure_rng(rng)
+        indices = bases_to_indices(strand)
+        return [
+            indices_to_bases(self.apply_indices(indices, generator))
+            for _ in range(n_copies)
+        ]

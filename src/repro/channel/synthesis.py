@@ -1,0 +1,71 @@
+"""Two-stage channel: synthesis errors, then sequencing errors.
+
+The paper's Section 8 distinguishes the two physical error sources:
+
+* **synthesis** (writing) injects errors into the *molecule itself* —
+  every copy amplified from it, and therefore every read in its cluster,
+  shares the same mutation. Consensus over many reads cannot vote these
+  away; only the cross-molecule ECC layer can. Conventional synthesis is
+  tuned to keep this rare, while the emerging enzymatic synthesis trades
+  exactly this guarantee for cost ("ACGT can be synthesized as AAACTT").
+* **sequencing** (reading) injects independent errors per read — the
+  noise consensus is designed to cancel.
+
+:class:`SynthesisSimulator` applies a per-molecule error model once, and
+:class:`TwoStageSequencer` composes it with the ordinary per-read
+sequencing channel. The ablation benchmark shows the consequence: raising
+coverage drives sequencing-induced failures to zero but leaves a
+synthesis-induced floor that only redundancy can cross.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.channel.coverage import CoverageModel, FixedCoverage
+from repro.channel.errors import ErrorModel
+from repro.channel.sequencer import ReadCluster, SequencingSimulator
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SynthesisSimulator:
+    """Mutates each designed strand once, as synthesis would.
+
+    Args:
+        error_model: per-position error probabilities applied one time per
+            molecule (use :func:`repro.channel.profiles.
+            enzymatic_synthesis_profile` for the indel-heavy regime).
+    """
+
+    def __init__(self, error_model: ErrorModel) -> None:
+        self.error_model = error_model
+
+    def synthesize(self, strands: Sequence[str], rng: RngLike = None) -> List[str]:
+        """Return the physically synthesized (possibly mutated) molecules."""
+        generator = ensure_rng(rng)
+        return [self.error_model.apply(strand, generator) for strand in strands]
+
+
+class TwoStageSequencer:
+    """Synthesis followed by sequencing: the full write+read channel.
+
+    Args:
+        synthesis_model: per-molecule (correlated) error model.
+        sequencing_model: per-read (independent) error model.
+        coverage_model: reads per cluster.
+    """
+
+    def __init__(
+        self,
+        synthesis_model: ErrorModel,
+        sequencing_model: ErrorModel,
+        coverage_model: CoverageModel = FixedCoverage(10),
+    ) -> None:
+        self.synthesis = SynthesisSimulator(synthesis_model)
+        self.sequencer = SequencingSimulator(sequencing_model, coverage_model)
+
+    def sequence(self, strands: Sequence[str], rng: RngLike = None) -> List[ReadCluster]:
+        """Synthesize every strand once, then sequence the molecules."""
+        generator = ensure_rng(rng)
+        molecules = self.synthesis.synthesize(strands, generator)
+        return self.sequencer.sequence(molecules, generator)

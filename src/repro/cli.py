@@ -1,0 +1,224 @@
+"""Command-line interface: encode files to DNA and decode them back.
+
+The CLI wraps the archive + pipeline stack into two commands::
+
+    python -m repro.cli encode --layout gini -o store.dna photo1.jpg notes.txt
+    python -m repro.cli decode store.dna -d restored/
+
+``encode`` packs the input files into an archive, encodes it into one or
+more encoding units, and writes a textual ``.dna`` file with one strand
+per line (plus a small JSON header describing the geometry). ``decode``
+reads the strand file — optionally after simulated sequencing noise with
+``--error-rate``/``--coverage`` — and restores the files.
+
+The strand file is deliberately human-readable: the point of the format
+is to make the pipeline's output inspectable, not to be efficient.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+
+from repro.channel import ErrorModel, GammaCoverage, SequencingSimulator
+from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+from repro.core.ranking import proportional_share_ranking
+from repro.files import FileEntry, pack_archive, unpack_archive_robust
+from repro.utils.bitio import bits_to_bytes, bytes_to_bits
+
+_FORMAT_VERSION = 1
+
+
+def _build_pipeline(args) -> DnaStoragePipeline:
+    matrix = MatrixConfig(
+        m=args.symbol_bits,
+        n_columns=args.molecules,
+        nsym=args.redundancy,
+        payload_rows=args.rows,
+    )
+    return DnaStoragePipeline(
+        PipelineConfig(matrix=matrix, layout=args.layout)
+    )
+
+
+def _encode(args) -> int:
+    entries: List[FileEntry] = []
+    for name in args.files:
+        path = Path(name)
+        if not path.is_file():
+            print(f"error: {name} is not a file", file=sys.stderr)
+            return 1
+        entries.append(FileEntry(name=path.name, data=path.read_bytes()))
+    archive = pack_archive(entries)
+
+    pipeline = _build_pipeline(args)
+    capacity = pipeline.capacity_bits
+    if archive.n_bits > capacity:
+        units_needed = -(-archive.n_bits // capacity)
+        print(
+            f"error: archive needs {archive.n_bits} bits but one unit holds "
+            f"{capacity}; increase --molecules/--rows (needs ~{units_needed} "
+            "units worth of capacity)",
+            file=sys.stderr,
+        )
+        return 1
+
+    ranking = None
+    if args.layout == "dnamapper":
+        ranking = proportional_share_ranking(
+            archive.segment_bits, top_priority_segments=[0]
+        )
+    bits = bytes_to_bits(archive.data)
+    unit = pipeline.encode(bits, ranking=ranking)
+
+    header = {
+        "format": _FORMAT_VERSION,
+        "layout": args.layout,
+        "m": args.symbol_bits,
+        "n_columns": args.molecules,
+        "nsym": args.redundancy,
+        "payload_rows": args.rows,
+        "n_data_bits": int(bits.size),
+    }
+    output = Path(args.output)
+    with output.open("w", encoding="ascii") as handle:
+        handle.write("#" + json.dumps(header) + "\n")
+        for strand in unit.strands:
+            handle.write(strand + "\n")
+    total_bases = sum(len(s) for s in unit.strands)
+    print(f"wrote {len(unit.strands)} strands ({total_bases} bases, "
+          f"{len(entries)} files, layout={args.layout}) to {output}")
+    if args.fasta:
+        from repro.files.fasta import write_fasta
+
+        fasta_path = output.with_suffix(".fasta")
+        write_fasta(fasta_path, unit.strands)
+        print(f"wrote synthesis order to {fasta_path}")
+    return 0
+
+
+def _decode(args) -> int:
+    path = Path(args.store)
+    if not path.is_file():
+        print(f"error: {args.store} is not a file", file=sys.stderr)
+        return 1
+    lines = path.read_text(encoding="ascii").splitlines()
+    if not lines or not lines[0].startswith("#"):
+        print("error: missing header line", file=sys.stderr)
+        return 1
+    header = json.loads(lines[0][1:])
+    if header.get("format") != _FORMAT_VERSION:
+        print("error: unsupported format version", file=sys.stderr)
+        return 1
+    strands = [line.strip() for line in lines[1:] if line.strip()]
+
+    matrix = MatrixConfig(
+        m=header["m"], n_columns=header["n_columns"],
+        nsym=header["nsym"], payload_rows=header["payload_rows"],
+    )
+    pipeline = DnaStoragePipeline(
+        PipelineConfig(matrix=matrix, layout=header["layout"])
+    )
+
+    if args.error_rate > 0:
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(args.error_rate),
+            GammaCoverage(args.coverage, shape=6),
+        )
+        clusters = simulator.sequence(strands, rng=args.seed)
+        print(f"simulated sequencing: {args.error_rate:.1%} errors, "
+              f"coverage ~{args.coverage}")
+    else:
+        from repro.channel import ReadCluster
+        clusters = [
+            ReadCluster(source_index=i, reads=[strand])
+            for i, strand in enumerate(strands)
+        ]
+
+    n_bits = header["n_data_bits"]
+    if header["layout"] == "dnamapper":
+        received = pipeline.receive(clusters)
+        corrected, report = pipeline.correct_matrix(received)
+        prioritized = pipeline.prioritized_bits(corrected)
+        data = _staged_unrank(pipeline, prioritized, n_bits)
+    else:
+        bits, report = pipeline.decode(clusters, n_bits)
+        data = bits_to_bytes(bits)
+
+    if not report.clean:
+        print(f"warning: {len(report.failed_codewords)} codewords failed to "
+              "decode; output may be corrupt", file=sys.stderr)
+
+    destination = Path(args.directory)
+    destination.mkdir(parents=True, exist_ok=True)
+    try:
+        entries = unpack_archive_robust(data)
+    except Exception:
+        print("error: archive directory unusable", file=sys.stderr)
+        return 1
+    for entry in entries:
+        target = destination / Path(entry.name).name
+        target.write_bytes(entry.data)
+        print(f"restored {target} ({len(entry.data)} bytes)")
+    return 0
+
+
+def _staged_unrank(pipeline, prioritized, n_bits) -> bytes:
+    """DnaMapper's metadata-free staged decode (directory first)."""
+    from repro.files.archive import directory_file_sizes, directory_size_bits
+
+    header_prefix = bits_to_bytes(prioritized[: 9 * 8])
+    dir_bits = directory_size_bits(header_prefix)
+    directory_blob = bits_to_bytes(prioritized[:dir_bits])
+    sizes = directory_file_sizes(directory_blob)
+    segment_bits = [dir_bits] + [size * 8 for size in sizes]
+    ranking = proportional_share_ranking(segment_bits,
+                                         top_priority_segments=[0])
+    return bits_to_bytes(pipeline.unrank_bits(prioritized, n_bits, ranking))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DNA storage encode/decode (paper reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    encode = sub.add_parser("encode", help="encode files into a .dna store")
+    encode.add_argument("files", nargs="+", help="input files")
+    encode.add_argument("-o", "--output", required=True, help=".dna output path")
+    encode.add_argument("--layout", default="gini",
+                        choices=["baseline", "gini", "dnamapper"])
+    encode.add_argument("--symbol-bits", type=int, default=8)
+    encode.add_argument("--molecules", type=int, default=255)
+    encode.add_argument("--redundancy", type=int, default=47,
+                        help="parity symbols per codeword (nsym)")
+    encode.add_argument("--rows", type=int, default=30,
+                        help="payload symbols per molecule")
+    encode.add_argument("--fasta", action="store_true",
+                        help="also write the strands as a FASTA synthesis order")
+    encode.set_defaults(func=_encode)
+
+    decode = sub.add_parser("decode", help="decode a .dna store back to files")
+    decode.add_argument("store", help=".dna file produced by encode")
+    decode.add_argument("-d", "--directory", default=".",
+                        help="destination directory")
+    decode.add_argument("--error-rate", type=float, default=0.0,
+                        help="simulate sequencing at this error rate")
+    decode.add_argument("--coverage", type=float, default=10.0,
+                        help="mean coverage for simulated sequencing")
+    decode.add_argument("--seed", type=int, default=0)
+    decode.set_defaults(func=_decode)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Read clustering: edit distance and cluster assignment.
+
+After sequencing, reads must be grouped so that all noisy copies of one
+original strand land in one cluster (the paper's Section 2.1, following
+Rashtchian et al.). The simulation methodology (Section 6.1.2) uses
+*perfect* clustering — each read is tagged with its source strand — to
+isolate consensus behaviour from clustering errors; the greedy
+edit-distance clusterer is provided as the realistic alternative.
+"""
+
+from repro.cluster.distance import banded_edit_distance, edit_distance
+from repro.cluster.greedy import GreedyClusterer
+from repro.cluster.perfect import perfect_clusters
+
+__all__ = [
+    "edit_distance",
+    "banded_edit_distance",
+    "GreedyClusterer",
+    "perfect_clusters",
+]

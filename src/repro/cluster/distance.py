@@ -1,0 +1,88 @@
+"""Levenshtein (edit) distance — full and banded variants.
+
+Edit distance is the similarity metric of DNA storage clustering (the
+minimum number of insertions, deletions and substitutions converting one
+string into the other). The full DP is O(n*m); the banded variant bounds
+the alignment to a diagonal band of half-width ``band`` and is what the
+greedy clusterer uses, since reads of the same cluster differ by a small
+number of edits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.basemap import bases_to_indices
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Exact Levenshtein distance between two DNA strings."""
+    return edit_distance_indices(
+        bases_to_indices(a) if a else np.zeros(0, dtype=np.uint8),
+        bases_to_indices(b) if b else np.zeros(0, dtype=np.uint8),
+    )
+
+
+def edit_distance_indices(a: np.ndarray, b: np.ndarray) -> int:
+    """Exact Levenshtein distance between two symbol-index arrays."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size == 0:
+        return int(b.size)
+    if b.size == 0:
+        return int(a.size)
+    if a.size < b.size:
+        a, b = b, a  # keep the inner (vectorized) dimension the larger one
+    m = b.size
+    offsets = np.arange(m + 1, dtype=np.int64)
+    row = offsets.copy()
+    for symbol in a:
+        candidates = np.empty(m + 1, dtype=np.int64)
+        candidates[0] = row[0] + 1
+        substitution = (b != symbol).astype(np.int64)
+        candidates[1:] = np.minimum(row[:-1] + substitution, row[1:] + 1)
+        row = np.minimum.accumulate(candidates - offsets) + offsets
+    return int(row[-1])
+
+
+def banded_edit_distance(a: str, b: str, band: int) -> int:
+    """Edit distance restricted to a diagonal band of half-width ``band``.
+
+    Returns the exact distance when it is at most ``band``; otherwise
+    returns a value strictly greater than ``band`` (a certificate that the
+    strings are farther apart than the band, not the true distance). The
+    length difference alone decides when it already exceeds the band.
+    """
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    n, m = len(a), len(b)
+    if abs(n - m) > band:
+        return abs(n - m)
+    if n == 0 or m == 0:
+        return max(n, m)
+    a_idx = bases_to_indices(a)
+    b_idx = bases_to_indices(b)
+    big = band + 1
+    # row[j] for j in [max(0, i-band), min(m, i+band)] kept in a dense array.
+    previous = np.full(m + 1, big, dtype=np.int64)
+    upper = min(m, band)
+    previous[: upper + 1] = np.arange(upper + 1)
+    for i in range(1, n + 1):
+        current = np.full(m + 1, big, dtype=np.int64)
+        low = max(1, i - band)
+        high = min(m, i + band)
+        if i <= band:
+            current[0] = i
+        segment = np.minimum(
+            previous[low - 1: high] + (b_idx[low - 1: high] != a_idx[i - 1]),
+            previous[low: high + 1] + 1,
+        )
+        # Horizontal pass within the band (sequential, but the band is short).
+        running = current[low - 1]
+        for j, value in zip(range(low, high + 1), segment):
+            running = min(value, running + 1)
+            current[j] = running
+        previous = current
+        if previous[max(0, i - band): min(m, i + band) + 1].min() > band:
+            return big  # the whole band exceeded the threshold; bail out
+    return int(min(previous[m], big))

@@ -1,0 +1,36 @@
+"""Perfect (oracle) clustering, as used by the paper's simulations.
+
+In simulation the source strand of every read is known, so clustering is
+exact by construction — "our data is perfectly clustered, which allows us
+to eliminate the effects of imperfect clustering algorithms" (Section
+6.1.2). This module just regroups tagged reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.channel.sequencer import ReadCluster
+
+
+def perfect_clusters(
+    tagged_reads: Sequence[Tuple[int, str]], n_strands: int
+) -> List[ReadCluster]:
+    """Group (source_index, read) pairs into one cluster per source strand.
+
+    Args:
+        tagged_reads: reads tagged with the index of their source strand.
+        n_strands: total number of source strands; sources with no reads
+            produce empty clusters (strand dropout).
+    """
+    buckets: Dict[int, List[str]] = {index: [] for index in range(n_strands)}
+    for source_index, read in tagged_reads:
+        if not (0 <= source_index < n_strands):
+            raise ValueError(
+                f"source index {source_index} out of range [0, {n_strands})"
+            )
+        buckets[source_index].append(read)
+    return [
+        ReadCluster(source_index=index, reads=buckets[index])
+        for index in range(n_strands)
+    ]

@@ -1,0 +1,37 @@
+"""Binary <-> DNA base coding.
+
+The paper assumes the maximum-density direct mapping (2 bits per base,
+00=A 01=C 10=G 11=T) and notes that constrained codes (homopolymer-free,
+GC-balanced) are common alternatives. Both are provided:
+
+* :class:`repro.codec.basemap.DirectCodec` — the paper's 2-bit mapping.
+* :class:`repro.codec.rotation.RotationCodec` — a Goldman-style rotating
+  ternary code that never repeats a base (homopolymer-free).
+* :mod:`repro.codec.constraints` — GC-content and homopolymer validators.
+"""
+
+from repro.codec.basemap import (
+    BASES,
+    DirectCodec,
+    bases_to_indices,
+    indices_to_bases,
+    random_bases,
+)
+from repro.codec.constraints import (
+    gc_content,
+    max_homopolymer_run,
+    violates_constraints,
+)
+from repro.codec.rotation import RotationCodec
+
+__all__ = [
+    "BASES",
+    "DirectCodec",
+    "RotationCodec",
+    "bases_to_indices",
+    "indices_to_bases",
+    "random_bases",
+    "gc_content",
+    "max_homopolymer_run",
+    "violates_constraints",
+]

@@ -1,0 +1,78 @@
+"""The paper's direct 2-bits-per-base mapping (00=A, 01=C, 10=G, 11=T).
+
+DNA strings travel through the library as Python ``str`` of ``ACGT``
+characters (readable, easy to diff in tests); hot paths convert to uint8
+index arrays with :func:`bases_to_indices`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+BASES = "ACGT"
+_BASE_TO_INDEX = {base: i for i, base in enumerate(BASES)}
+# Lookup table over ASCII codes for vectorized conversion.
+_ASCII_TO_INDEX = np.full(128, -1, dtype=np.int8)
+for _i, _b in enumerate(BASES):
+    _ASCII_TO_INDEX[ord(_b)] = _i
+
+
+def bases_to_indices(strand: str) -> np.ndarray:
+    """Convert an ACGT string to a uint8 index array (A=0, C=1, G=2, T=3)."""
+    codes = np.frombuffer(strand.encode("ascii"), dtype=np.uint8)
+    indices = _ASCII_TO_INDEX[codes]
+    if np.any(indices < 0):
+        bad = strand[int(np.argmax(indices < 0))]
+        raise ValueError(f"invalid DNA character {bad!r}")
+    return indices.astype(np.uint8)
+
+
+def indices_to_bases(indices: np.ndarray) -> str:
+    """Convert an index array back to an ACGT string."""
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() > 3):
+        raise ValueError("base indices must be in [0, 3]")
+    return "".join(BASES[int(i)] for i in indices)
+
+
+def random_bases(length: int, rng: RngLike = None) -> str:
+    """Generate a uniformly random DNA string of the given length."""
+    generator = ensure_rng(rng)
+    return indices_to_bases(generator.integers(0, 4, size=length))
+
+
+class DirectCodec:
+    """Maximum-density mapping between bit arrays and DNA strings.
+
+    Two consecutive bits form one base; the first bit of the pair is the
+    high bit (00=A, 01=C, 10=G, 11=T), matching the paper's Section 2.1.
+    """
+
+    bits_per_base = 2
+
+    def encode(self, bits: np.ndarray) -> str:
+        """Map a 0/1 array (even length) to a DNA string."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % 2 != 0:
+            raise ValueError(f"bit count must be even, got {bits.size}")
+        if bits.size and bits.max() > 1:
+            raise ValueError("bits must be 0 or 1")
+        pairs = bits.reshape(-1, 2)
+        indices = pairs[:, 0] * 2 + pairs[:, 1]
+        return indices_to_bases(indices)
+
+    def decode(self, strand: str) -> np.ndarray:
+        """Map a DNA string back to its 0/1 array."""
+        indices = bases_to_indices(strand)
+        bits = np.empty(indices.size * 2, dtype=np.uint8)
+        bits[0::2] = indices >> 1
+        bits[1::2] = indices & 1
+        return bits
+
+    def encoded_length(self, n_bits: int) -> int:
+        """Number of bases needed for ``n_bits`` bits."""
+        if n_bits % 2 != 0:
+            raise ValueError(f"bit count must be even, got {n_bits}")
+        return n_bits // 2

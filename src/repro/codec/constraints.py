@@ -1,0 +1,42 @@
+"""Biochemical sequence constraints: GC content and homopolymer runs.
+
+The paper's Section 2.1 discusses codes that avoid homopolymers (repeated
+bases such as ``AAA``) to reduce sequencing errors, and codes that balance
+GC content to improve synthesis yield. These validators are used by the
+primer-design module and by the constrained codec.
+"""
+
+from __future__ import annotations
+
+
+def gc_content(strand: str) -> float:
+    """Fraction of G and C bases in a strand (0.0 for the empty string)."""
+    if not strand:
+        return 0.0
+    gc = sum(1 for base in strand if base in "GC")
+    return gc / len(strand)
+
+
+def max_homopolymer_run(strand: str) -> int:
+    """Length of the longest run of one repeated base (0 for empty)."""
+    if not strand:
+        return 0
+    longest = 1
+    current = 1
+    for previous, base in zip(strand, strand[1:]):
+        current = current + 1 if base == previous else 1
+        longest = max(longest, current)
+    return longest
+
+
+def violates_constraints(
+    strand: str,
+    max_run: int = 3,
+    gc_low: float = 0.4,
+    gc_high: float = 0.6,
+) -> bool:
+    """True if the strand breaks the homopolymer or GC-window constraints."""
+    if max_homopolymer_run(strand) > max_run:
+        return True
+    content = gc_content(strand)
+    return not (gc_low <= content <= gc_high)

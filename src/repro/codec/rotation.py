@@ -1,0 +1,127 @@
+"""Homopolymer-free rotating ternary code (Goldman-style).
+
+Each trit (base-3 digit) selects one of the three bases *different from the
+previous base*, so the output never contains two identical consecutive
+bases. This is the constrained-coding alternative the paper's Section 2.1
+mentions; it trades density (log2(3) ~ 1.585 bits/base versus 2) for
+robustness of synthesis/sequencing.
+
+Bits are first converted to a big integer, then to base-3 digits, so the
+codec is exact and reversible for any bit length. A fixed-width header of
+base-3 digits carries the bit length so decoding knows how much to emit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.basemap import BASES
+
+_LENGTH_HEADER_TRITS = 16  # supports payloads up to 3^16 - 1 = ~43M bits
+
+
+class RotationCodec:
+    """Ternary rotation codec producing homopolymer-free DNA strings."""
+
+    bits_per_base = np.log2(3)
+
+    def encode(self, bits: np.ndarray, previous_base: str = "A") -> str:
+        """Encode a 0/1 array into a homopolymer-free DNA string.
+
+        Args:
+            bits: the payload bits.
+            previous_base: base assumed to precede the output (the first
+                emitted base will differ from it).
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size and bits.max() > 1:
+            raise ValueError("bits must be 0 or 1")
+        value = 0
+        for bit in bits:
+            value = (value << 1) | int(bit)
+        trits = self._to_trits(value)
+        header = self._int_to_fixed_trits(bits.size, _LENGTH_HEADER_TRITS)
+        return self._trits_to_bases(header + trits, previous_base)
+
+    def decode(self, strand: str, previous_base: str = "A") -> np.ndarray:
+        """Decode a strand produced by :meth:`encode` back to bits."""
+        trits = self._bases_to_trits(strand, previous_base)
+        if len(trits) < _LENGTH_HEADER_TRITS:
+            raise ValueError("strand too short to contain the length header")
+        n_bits = self._fixed_trits_to_int(trits[:_LENGTH_HEADER_TRITS])
+        value = 0
+        for trit in trits[_LENGTH_HEADER_TRITS:]:
+            value = value * 3 + trit
+        bits = np.zeros(n_bits, dtype=np.uint8)
+        for i in range(n_bits - 1, -1, -1):
+            bits[i] = value & 1
+            value >>= 1
+        if value != 0:
+            raise ValueError("payload value exceeds declared bit length")
+        return bits
+
+    def encoded_length(self, n_bits: int) -> int:
+        """Bases required to encode ``n_bits`` bits (header included)."""
+        if n_bits == 0:
+            payload_trits = 1  # the zero payload still emits one trit
+        else:
+            # ceil(n_bits / log2(3)) is a tight bound; compute exactly below.
+            payload_trits = int(np.ceil(n_bits / np.log2(3))) + 1
+        return _LENGTH_HEADER_TRITS + payload_trits
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _to_trits(value: int) -> list:
+        if value == 0:
+            return [0]
+        trits = []
+        while value:
+            trits.append(value % 3)
+            value //= 3
+        return trits[::-1]
+
+    @staticmethod
+    def _int_to_fixed_trits(value: int, width: int) -> list:
+        if value >= 3**width:
+            raise ValueError(f"value {value} does not fit in {width} trits")
+        trits = [0] * width
+        for i in range(width - 1, -1, -1):
+            trits[i] = value % 3
+            value //= 3
+        return trits
+
+    @staticmethod
+    def _fixed_trits_to_int(trits: list) -> int:
+        value = 0
+        for trit in trits:
+            value = value * 3 + trit
+        return value
+
+    @staticmethod
+    def _trits_to_bases(trits: list, previous_base: str) -> str:
+        if previous_base not in BASES:
+            raise ValueError(f"invalid previous base {previous_base!r}")
+        out = []
+        current = previous_base
+        for trit in trits:
+            candidates = [b for b in BASES if b != current]
+            current = candidates[trit]
+            out.append(current)
+        return "".join(out)
+
+    @staticmethod
+    def _bases_to_trits(strand: str, previous_base: str) -> list:
+        if previous_base not in BASES:
+            raise ValueError(f"invalid previous base {previous_base!r}")
+        trits = []
+        current = previous_base
+        for base in strand:
+            if base not in BASES:
+                raise ValueError(f"invalid DNA character {base!r}")
+            if base == current:
+                raise ValueError("strand violates the no-repeat constraint")
+            candidates = [b for b in BASES if b != current]
+            trits.append(candidates.index(base))
+            current = base
+        return trits

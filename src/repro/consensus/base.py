@@ -1,0 +1,72 @@
+"""Shared reconstruction interface and voting helpers.
+
+All reconstructors implement :class:`Reconstructor`: given a cluster of
+noisy reads and the original length L, return a best-estimate string of
+exactly length L. Working with a fixed output length is what the paper
+calls the *constrained* edit-distance median problem, and it is what the
+storage pipeline needs (every molecule in an encoding unit has the same
+length by construction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.codec.basemap import bases_to_indices, indices_to_bases
+
+
+class Reconstructor:
+    """Interface for consensus-finding algorithms."""
+
+    def reconstruct(self, reads: Sequence[str], length: int) -> str:
+        """Return a length-``length`` estimate of the cluster's original strand.
+
+        Implementations must return *some* string of exactly the requested
+        length even for degenerate inputs (empty cluster, all-empty reads);
+        the pipeline treats obviously-degenerate output as erasures upstream.
+        """
+        raise NotImplementedError
+
+    def reconstruct_indices(
+        self, reads: Sequence[np.ndarray], length: int
+    ) -> np.ndarray:
+        """Index-array variant; default converts through strings."""
+        strands = [indices_to_bases(r) for r in reads]
+        return bases_to_indices(self.reconstruct(strands, length))
+
+
+def majority_vote(
+    symbols: Sequence[int],
+    n_alphabet: int = 4,
+    tie_break: str = "lowest",
+) -> Optional[int]:
+    """Plurality vote over symbols; None for an empty ballot.
+
+    Args:
+        symbols: candidate symbols in ``[0, n_alphabet)``.
+        n_alphabet: alphabet size.
+        tie_break: "lowest" picks the smallest symbol among ties, which
+            keeps reconstruction deterministic.
+    """
+    if len(symbols) == 0:
+        return None
+    counts = np.bincount(np.asarray(symbols, dtype=np.int64), minlength=n_alphabet)
+    if tie_break != "lowest":
+        raise ValueError(f"unknown tie_break {tie_break!r}")
+    return int(np.argmax(counts))
+
+
+def column_votes(
+    reads: List[np.ndarray], pointers: np.ndarray, n_alphabet: int = 4
+) -> np.ndarray:
+    """Count votes for each symbol among reads' current characters.
+
+    Reads whose pointer has run past their end do not vote.
+    """
+    counts = np.zeros(n_alphabet, dtype=np.int64)
+    for read, pointer in zip(reads, pointers):
+        if 0 <= pointer < len(read):
+            counts[read[pointer]] += 1
+    return counts

@@ -1,0 +1,148 @@
+"""Iterative realign-and-vote reconstruction.
+
+A stronger consensus algorithm standing in for the iterative reconstructor
+of Sabary et al. that the paper uses for its Figure 5 ("Reconstruction
+Algorithms for DNA Storage Systems"): starting from the two-way estimate,
+repeatedly
+
+1. globally align every read against the current estimate (unit-cost
+   Needleman-Wunsch, i.e. edit-distance alignment), and
+2. re-vote every position of the estimate from the aligned read characters,
+
+until a fixed point or an iteration cap. Unlike the one-way scan, votes at
+position i come from characters aligned to i from *both* directions, so the
+algorithm is considerably more accurate — yet, as the paper's Figure 5
+demonstrates (and the Fig-5 benchmark here reproduces), the positional
+reliability skew persists: alignment ambiguity still concentrates in the
+middle of the strand whenever indels are present.
+
+The output length is held at L throughout, matching the constrained-median
+formulation (the paper notes the original Sabary et al. code does not
+always return the desired length; ours does by construction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.codec.basemap import bases_to_indices, indices_to_bases
+from repro.consensus.base import Reconstructor
+from repro.consensus.two_way import TwoWayReconstructor
+
+
+class IterativeReconstructor(Reconstructor):
+    """Realign-and-vote refinement around an initial two-way estimate.
+
+    Args:
+        max_iterations: refinement cap (fixed points usually occur in 2-3).
+        n_alphabet: alphabet size.
+    """
+
+    def __init__(self, max_iterations: int = 4, n_alphabet: int = 4) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.max_iterations = max_iterations
+        self.n_alphabet = n_alphabet
+        self._seed = TwoWayReconstructor(n_alphabet=n_alphabet)
+
+    def reconstruct(self, reads: Sequence[str], length: int) -> str:
+        arrays = [bases_to_indices(read) for read in reads]
+        return indices_to_bases(self.reconstruct_indices(arrays, length))
+
+    def reconstruct_indices(
+        self, reads: Sequence[np.ndarray], length: int
+    ) -> np.ndarray:
+        reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
+        estimate = self._seed.reconstruct_indices(reads, length)
+        if not reads or length == 0:
+            return estimate
+        for _ in range(self.max_iterations):
+            votes = np.zeros((length, self.n_alphabet), dtype=np.int64)
+            for read in reads:
+                self._vote_alignment(estimate, read, votes)
+            refined = estimate.copy()
+            voted = votes.sum(axis=1) > 0
+            refined[voted] = np.argmax(votes[voted], axis=1)
+            if np.array_equal(refined, estimate):
+                break
+            estimate = refined
+        # The pointer-scan seed can suffer rare desynchronization cascades
+        # that positional re-voting cannot undo (it refines symbols, not
+        # coordinates). A plain per-position majority is immune to those
+        # cascades whenever indels are absent or rare, so evaluate both
+        # candidates under the true objective — the sum of edit distances —
+        # and return the better one.
+        majority = self._positional_majority(reads, length)
+        if self._total_distance(majority, reads) < self._total_distance(
+            estimate, reads
+        ):
+            return majority
+        return estimate
+
+    def _positional_majority(
+        self, reads: List[np.ndarray], length: int
+    ) -> np.ndarray:
+        """Column-wise plurality vote, ignoring alignment entirely."""
+        votes = np.zeros((length, self.n_alphabet), dtype=np.int64)
+        for read in reads:
+            upto = min(length, len(read))
+            votes[np.arange(upto), read[:upto]] += 1
+        estimate = np.zeros(length, dtype=np.int64)
+        voted = votes.sum(axis=1) > 0
+        estimate[voted] = np.argmax(votes[voted], axis=1)
+        return estimate
+
+    def _total_distance(
+        self, candidate: np.ndarray, reads: List[np.ndarray]
+    ) -> int:
+        return sum(
+            int(self._edit_matrix(candidate, read)[-1, -1]) for read in reads
+        )
+
+    def _vote_alignment(
+        self, estimate: np.ndarray, read: np.ndarray, votes: np.ndarray
+    ) -> None:
+        """Align ``read`` to ``estimate`` and add its votes per position.
+
+        Positions of the estimate that the alignment maps to a read
+        character (match or substitution) receive that character's vote;
+        positions the alignment skips (a deletion in the read) cast no vote.
+        """
+        matrix = self._edit_matrix(estimate, read)
+        i, j = len(estimate), len(read)
+        while i > 0 and j > 0:
+            sub_cost = 0 if estimate[i - 1] == read[j - 1] else 1
+            if matrix[i, j] == matrix[i - 1, j - 1] + sub_cost:
+                votes[i - 1, read[j - 1]] += 1
+                i -= 1
+                j -= 1
+            elif matrix[i, j] == matrix[i - 1, j] + 1:
+                i -= 1  # deletion in read relative to estimate: no vote
+            else:
+                j -= 1  # insertion in read: skip the extra character
+
+    @staticmethod
+    def _edit_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full unit-cost DP matrix between sequences ``a`` and ``b``.
+
+        Rows are vectorized with the min-accumulate trick: with unit gap
+        costs, ``row[j] = min_k<=j (tmp[k] + (j - k))`` where ``tmp`` holds
+        the vertical/diagonal candidates, computable in O(len(b)) per row.
+        """
+        n, m = len(a), len(b)
+        matrix = np.zeros((n + 1, m + 1), dtype=np.int32)
+        matrix[0] = np.arange(m + 1)
+        matrix[:, 0] = np.arange(n + 1)
+        offsets = np.arange(m + 1)
+        for i in range(1, n + 1):
+            previous = matrix[i - 1]
+            substitution = (b != a[i - 1]).astype(np.int32)
+            candidates = np.empty(m + 1, dtype=np.int32)
+            candidates[0] = previous[0] + 1
+            candidates[1:] = np.minimum(
+                previous[:-1] + substitution, previous[1:] + 1
+            )
+            matrix[i] = np.minimum.accumulate(candidates - offsets) + offsets
+        return matrix

@@ -1,0 +1,458 @@
+"""The end-to-end DNA storage pipeline (the paper's Section 6 methodology).
+
+Encoding: data bits -> priority permutation -> matrix placement -> per-
+codeword Reed-Solomon parity -> per-column DNA strands (index + payload).
+
+Decoding: read clusters -> consensus (two-way by default) -> index parse
+and column assembly -> per-codeword RS error/erasure correction ->
+inverse placement -> inverse permutation -> data bits.
+
+The pipeline is deliberately split into ``receive`` (clusters to a raw
+symbol matrix) and ``correct`` (matrix to bits) so analyses like the
+paper's Figure 11 can observe the *pre-correction* error distribution per
+codeword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.channel.sequencer import ReadCluster
+from repro.codec.basemap import DirectCodec
+from repro.consensus.base import Reconstructor
+from repro.consensus.two_way import TwoWayReconstructor
+from repro.core.layout import LayoutPolicy, MatrixConfig, build_layout
+from repro.core.ranking import identity_ranking
+from repro.ecc.reed_solomon import DecodeFailure, ReedSolomon
+from repro.utils.bitio import pack_uint, unpack_uint
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Full configuration of one storage pipeline.
+
+    Attributes:
+        matrix: encoding-unit geometry.
+        layout: 'baseline', 'gini', or 'dnamapper'.
+        gini_excluded_rows: rows kept as separate reliability classes when
+            ``layout == 'gini'`` (the paper's Figure 8b).
+    """
+
+    matrix: MatrixConfig = field(default_factory=MatrixConfig)
+    layout: str = "baseline"
+    gini_excluded_rows: Tuple[int, ...] = ()
+
+
+@dataclass
+class EncodedUnit:
+    """One synthesized encoding unit.
+
+    Attributes:
+        strands: one DNA string per molecule (index + payload bases).
+        matrix: the ground-truth symbol matrix (payload_rows x n_columns),
+            kept for analysis (error accounting in simulations).
+        n_data_bits: number of caller bits stored (before padding).
+    """
+
+    strands: List[str]
+    matrix: np.ndarray
+    n_data_bits: int
+
+
+@dataclass
+class ReceivedUnit:
+    """Raw matrix reassembled from consensus strands, pre-correction.
+
+    Attributes:
+        matrix: received symbols (zeros where nothing was received).
+        erased_columns: columns with no (validly indexed) strand.
+        duplicate_columns: columns claimed by more than one cluster.
+        invalid_strands: consensus strands dropped for a bad index.
+        cell_erasures: (row, column) cells the consensus flagged as
+            low-confidence (only populated by confidence-aware receive).
+    """
+
+    matrix: np.ndarray
+    erased_columns: List[int]
+    duplicate_columns: List[int]
+    invalid_strands: int
+    cell_erasures: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class DecodeReport:
+    """Outcome statistics of a unit decode.
+
+    Attributes:
+        erased_columns: molecules lost before correction.
+        failed_codewords: codeword ids the RS decoder gave up on.
+        corrected_symbols: symbols fixed across all codewords.
+        clean: True when every codeword decoded successfully.
+    """
+
+    erased_columns: List[int]
+    failed_codewords: List[int]
+    corrected_symbols: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.failed_codewords
+
+
+class DnaStoragePipeline:
+    """Encode/decode encoding units under a configurable layout policy."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        reconstructor: Optional[Reconstructor] = None,
+    ) -> None:
+        self.config = config
+        self.matrix_config = config.matrix
+        self.layout: LayoutPolicy = build_layout(
+            config.layout, config.matrix, config.gini_excluded_rows
+        )
+        self.reconstructor = reconstructor or TwoWayReconstructor()
+        self._codec = DirectCodec()
+        self._rs = (
+            ReedSolomon(
+                config.matrix.m,
+                nsym=config.matrix.nsym,
+                n=config.matrix.n_columns,
+            )
+            if config.matrix.nsym > 0
+            else None
+        )
+        self._placement = list(self.layout.placement_order())
+        if len(self._placement) != config.matrix.data_symbols:
+            raise AssertionError("placement order does not cover the data cells")
+
+    # -- encoding -------------------------------------------------------------
+
+    @property
+    def capacity_bits(self) -> int:
+        """Data bits one unit can hold."""
+        return self.matrix_config.data_bits
+
+    def encode(
+        self, bits: np.ndarray, ranking: Optional[np.ndarray] = None
+    ) -> EncodedUnit:
+        """Encode a bit array (at most ``capacity_bits``) into strands.
+
+        Args:
+            bits: 0/1 array of payload bits.
+            ranking: priority permutation over ``len(bits)`` (see
+                :mod:`repro.core.ranking`); identity when omitted. Padding
+                bits (capacity beyond ``len(bits)``) always rank last.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("bits must be a 1-D array")
+        if bits.size > self.capacity_bits:
+            raise ValueError(
+                f"{bits.size} bits exceed unit capacity {self.capacity_bits}"
+            )
+        if ranking is None:
+            ranking = identity_ranking(bits.size)
+        ranking = np.asarray(ranking, dtype=np.int64)
+        if ranking.shape != (bits.size,):
+            raise ValueError("ranking must be a permutation of the bit indices")
+
+        padded = np.zeros(self.capacity_bits, dtype=np.uint8)
+        padded[: bits.size] = bits
+        prioritized = np.empty(self.capacity_bits, dtype=np.uint8)
+        prioritized[: bits.size] = padded[ranking]
+        prioritized[bits.size:] = 0  # padding occupies the weakest positions
+
+        symbols = self._bits_to_symbols(prioritized)
+        config = self.matrix_config
+        matrix = np.zeros((config.payload_rows, config.n_columns), dtype=np.int64)
+        for value, (row, column) in zip(symbols, self._placement):
+            matrix[row, column] = value
+        self._fill_parity(matrix)
+        strands = [
+            self._column_to_strand(matrix, column)
+            for column in range(config.n_columns)
+        ]
+        return EncodedUnit(strands=strands, matrix=matrix, n_data_bits=bits.size)
+
+    def _fill_parity(self, matrix: np.ndarray) -> None:
+        if self._rs is None:
+            return
+        data_columns = self.matrix_config.data_columns
+        for k in range(self.layout.n_codewords):
+            cells = self.layout.codeword_cells(k)
+            message = np.array(
+                [matrix[row, col] for row, col in cells[:data_columns]],
+                dtype=np.int64,
+            )
+            parity = self._rs.parity(message)
+            for value, (row, col) in zip(parity, cells[data_columns:]):
+                matrix[row, col] = value
+
+    def _column_to_strand(self, matrix: np.ndarray, column: int) -> str:
+        config = self.matrix_config
+        bits = [pack_uint(column, config.m)]
+        bits += [
+            pack_uint(int(matrix[row, column]), config.m)
+            for row in range(config.payload_rows)
+        ]
+        return self._codec.encode(np.concatenate(bits))
+
+    # -- decoding -------------------------------------------------------------
+
+    def receive(
+        self,
+        clusters: Sequence[ReadCluster],
+        confidence_threshold: Optional[float] = None,
+    ) -> ReceivedUnit:
+        """Consensus + column assembly; no error correction yet.
+
+        Args:
+            clusters: read clusters (one per molecule, any order).
+            confidence_threshold: when set *and* the reconstructor exposes
+                ``reconstruct_with_confidence`` (see
+                :class:`repro.consensus.posterior.PosteriorReconstructor`),
+                payload symbols whose bases fall below this posterior
+                confidence are flagged as *cell erasures*. RS treats
+                erasures at half the cost of errors, so flagging the
+                consensus's own uncertain symbols buys correction margin
+                — an extension of the paper's design enabled by soft
+                consensus output.
+        """
+        config = self.matrix_config
+        matrix = np.zeros((config.payload_rows, config.n_columns), dtype=np.int64)
+        filled: Set[int] = set()
+        duplicates: List[int] = []
+        cell_erasures: List[Tuple[int, int]] = []
+        invalid = 0
+        use_confidence = (
+            confidence_threshold is not None
+            and hasattr(self.reconstructor, "reconstruct_with_confidence")
+        )
+        for cluster in clusters:
+            if cluster.is_lost:
+                continue
+            confidence = None
+            if use_confidence:
+                from repro.codec.basemap import bases_to_indices, indices_to_bases
+                reads = [bases_to_indices(r) for r in cluster.reads]
+                estimate, confidence = (
+                    self.reconstructor.reconstruct_with_confidence(
+                        reads, config.strand_length
+                    )
+                )
+                strand = indices_to_bases(estimate)
+            else:
+                strand = self.reconstructor.reconstruct(
+                    cluster.reads, config.strand_length
+                )
+            column, symbols = self._parse_strand(strand)
+            if column is None:
+                invalid += 1
+                continue
+            if column in filled:
+                duplicates.append(column)
+                continue  # first strand wins; later claims are dropped
+            matrix[:, column] = symbols
+            filled.add(column)
+            if confidence is not None:
+                cell_erasures.extend(
+                    (row, column)
+                    for row in self._low_confidence_rows(
+                        confidence, confidence_threshold
+                    )
+                )
+        erased = [c for c in range(config.n_columns) if c not in filled]
+        return ReceivedUnit(
+            matrix=matrix,
+            erased_columns=erased,
+            duplicate_columns=duplicates,
+            invalid_strands=invalid,
+            cell_erasures=cell_erasures,
+        )
+
+    def _low_confidence_rows(
+        self, confidence: np.ndarray, threshold: float
+    ) -> List[int]:
+        """Payload rows containing any base below the confidence threshold."""
+        config = self.matrix_config
+        bases_per_symbol = config.m // 2
+        payload = confidence[config.index_bases:]
+        per_row = payload[: config.payload_rows * bases_per_symbol].reshape(
+            config.payload_rows, bases_per_symbol
+        )
+        return [int(r) for r in np.nonzero(per_row.min(axis=1) < threshold)[0]]
+
+    def _parse_strand(self, strand: str) -> Tuple[Optional[int], np.ndarray]:
+        config = self.matrix_config
+        bits = self._codec.decode(strand)
+        index = unpack_uint(bits[: config.m])
+        if index >= config.n_columns:
+            return None, np.zeros(0, dtype=np.int64)
+        payload_bits = bits[config.m:]
+        symbols = np.array(
+            [
+                unpack_uint(payload_bits[i * config.m: (i + 1) * config.m])
+                for i in range(config.payload_rows)
+            ],
+            dtype=np.int64,
+        )
+        return index, symbols
+
+    def correct_matrix(
+        self,
+        received: ReceivedUnit,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> Tuple[np.ndarray, DecodeReport]:
+        """RS-correct a received matrix; no bit extraction yet.
+
+        Args:
+            received: output of :meth:`receive`.
+            extra_erasure_columns: columns to treat as erased on top of the
+                genuinely missing ones — the knob the paper uses to model
+                *effective redundancy* reduction (its Figure 13).
+
+        Returns:
+            The corrected matrix (failed codewords keep their received
+            symbols) and the decode report.
+        """
+        config = self.matrix_config
+        matrix = received.matrix.copy()
+        erased = sorted(set(received.erased_columns) | set(
+            int(c) for c in extra_erasure_columns
+        ))
+        for column in erased:
+            if not (0 <= column < config.n_columns):
+                raise ValueError(f"erasure column {column} out of range")
+        failed: List[int] = []
+        corrected = 0
+        if self._rs is not None:
+            erased_set = set(erased)
+            cell_erasure_set = {
+                (int(r), int(c)) for r, c in received.cell_erasures
+                if c not in erased_set
+            }
+            for k in range(self.layout.n_codewords):
+                cells = self.layout.codeword_cells(k)
+                word = np.array([matrix[r, c] for r, c in cells], dtype=np.int64)
+                erasure_positions = [
+                    j for j, (_, c) in enumerate(cells) if c in erased_set
+                ]
+                # Low-confidence cells are *advisory* erasures: include
+                # them while they fit the budget, and fall back to the
+                # hard (column) erasures alone if decoding then fails —
+                # a wrong confidence flag must never lose a codeword that
+                # plain decoding would have saved.
+                soft_positions = [
+                    j for j, cell in enumerate(cells)
+                    if cell in cell_erasure_set
+                ]
+                budget = self._rs.nsym - len(erasure_positions)
+                augmented = erasure_positions + soft_positions[:max(budget, 0)]
+                try:
+                    message, n_fixed = self._rs.decode(word, augmented)
+                except DecodeFailure:
+                    try:
+                        message, n_fixed = self._rs.decode(word, erasure_positions)
+                    except DecodeFailure:
+                        failed.append(k)
+                        continue
+                corrected += n_fixed
+                for value, (row, col) in zip(message, cells[: config.data_columns]):
+                    matrix[row, col] = value
+        report = DecodeReport(
+            erased_columns=erased,
+            failed_codewords=failed,
+            corrected_symbols=corrected,
+        )
+        return matrix, report
+
+    def correct(
+        self,
+        received: ReceivedUnit,
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> Tuple[np.ndarray, DecodeReport]:
+        """RS-correct a received matrix and recover the original bits.
+
+        Args:
+            received: output of :meth:`receive`.
+            n_data_bits: payload length the caller stored.
+            ranking: the priority permutation used at encode time.
+            extra_erasure_columns: see :meth:`correct_matrix`.
+        """
+        matrix, report = self.correct_matrix(received, extra_erasure_columns)
+        prioritized = self._symbols_to_bits(
+            np.array([matrix[r, c] for r, c in self._placement], dtype=np.int64)
+        )
+        bits = self._unrank(prioritized, n_data_bits, ranking)
+        return bits, report
+
+    def decode(
+        self,
+        clusters: Sequence[ReadCluster],
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> Tuple[np.ndarray, DecodeReport]:
+        """Full decode: :meth:`receive` followed by :meth:`correct`."""
+        received = self.receive(clusters)
+        return self.correct(
+            received, n_data_bits, ranking, extra_erasure_columns
+        )
+
+    def prioritized_bits(self, received_or_matrix) -> np.ndarray:
+        """Data bits in placement (priority) order, without un-ranking.
+
+        Accepts a :class:`ReceivedUnit` or a raw matrix. Used by staged
+        decodes that must parse a directory before the ranking is known.
+        """
+        matrix = getattr(received_or_matrix, "matrix", received_or_matrix)
+        return self._symbols_to_bits(
+            np.array([matrix[r, c] for r, c in self._placement], dtype=np.int64)
+        )
+
+    def unrank_bits(
+        self,
+        prioritized: np.ndarray,
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Invert the priority permutation over already-extracted bits."""
+        return self._unrank(prioritized, n_data_bits, ranking)
+
+    # -- bit/symbol plumbing ----------------------------------------------------
+
+    def _unrank(
+        self,
+        prioritized: np.ndarray,
+        n_data_bits: int,
+        ranking: Optional[np.ndarray],
+    ) -> np.ndarray:
+        if not (0 <= n_data_bits <= self.capacity_bits):
+            raise ValueError(f"n_data_bits {n_data_bits} out of range")
+        if ranking is None:
+            return prioritized[:n_data_bits].copy()
+        ranking = np.asarray(ranking, dtype=np.int64)
+        if ranking.shape != (n_data_bits,):
+            raise ValueError("ranking length must equal n_data_bits")
+        bits = np.zeros(n_data_bits, dtype=np.uint8)
+        bits[ranking] = prioritized[:n_data_bits]
+        return bits
+
+    def _bits_to_symbols(self, bits: np.ndarray) -> np.ndarray:
+        m = self.matrix_config.m
+        grouped = bits.reshape(-1, m).astype(np.int64)
+        weights = 1 << np.arange(m - 1, -1, -1, dtype=np.int64)
+        return grouped @ weights
+
+    def _symbols_to_bits(self, symbols: np.ndarray) -> np.ndarray:
+        m = self.matrix_config.m
+        shifts = np.arange(m - 1, -1, -1, dtype=np.int64)
+        bits = (symbols[:, None] >> shifts) & 1
+        return bits.reshape(-1).astype(np.uint8)

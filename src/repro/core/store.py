@@ -1,0 +1,158 @@
+"""Multi-unit storage: payloads larger than one encoding unit.
+
+The paper's encoding unit (matrix) has a fixed capacity; larger payloads
+must span several units, each of which would carry its own primer pair in
+the wetlab (units are separately amplifiable pools — the key-value model
+of Section 2.1). :class:`DnaStore` handles the split:
+
+* the payload is cut into per-unit stripes *round-robin in priority
+  order*, so that under DnaMapper every unit receives an even share of
+  every priority class (unit 0 does not hoard all the important bits —
+  a lost unit then degrades all files proportionally, mirroring the
+  paper's multi-file fairness heuristic at the unit level);
+* each unit is an independent :class:`DnaStoragePipeline` encode, so all
+  layout policies work unchanged;
+* decoding accepts per-unit cluster lists and reassembles the stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.sequencer import ReadCluster
+from repro.consensus.base import Reconstructor
+from repro.core.pipeline import DecodeReport, DnaStoragePipeline, EncodedUnit, PipelineConfig
+
+
+@dataclass
+class StoreImage:
+    """A payload encoded across several units.
+
+    Attributes:
+        units: one :class:`EncodedUnit` per stripe.
+        n_data_bits: payload length in bits.
+    """
+
+    units: List[EncodedUnit]
+    n_data_bits: int
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_strands(self) -> int:
+        return sum(len(unit.strands) for unit in self.units)
+
+
+@dataclass
+class StoreReport:
+    """Aggregated decode outcome across units."""
+
+    unit_reports: List[DecodeReport]
+
+    @property
+    def clean(self) -> bool:
+        return all(report.clean for report in self.unit_reports)
+
+    @property
+    def total_erased_columns(self) -> int:
+        return sum(len(report.erased_columns) for report in self.unit_reports)
+
+    @property
+    def total_failed_codewords(self) -> int:
+        return sum(len(report.failed_codewords) for report in self.unit_reports)
+
+
+class DnaStore:
+    """Encode/decode byte payloads of arbitrary size across units."""
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        reconstructor: Optional[Reconstructor] = None,
+    ) -> None:
+        self.pipeline = DnaStoragePipeline(config, reconstructor=reconstructor)
+
+    @property
+    def unit_capacity_bits(self) -> int:
+        return self.pipeline.capacity_bits
+
+    def units_needed(self, n_bits: int) -> int:
+        """Number of encoding units a payload of ``n_bits`` requires."""
+        if n_bits < 0:
+            raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+        return max(1, -(-n_bits // self.unit_capacity_bits))
+
+    def encode(
+        self, bits: np.ndarray, ranking: Optional[np.ndarray] = None
+    ) -> StoreImage:
+        """Encode a bit array of any size into one or more units.
+
+        Args:
+            bits: the payload.
+            ranking: optional *global* priority permutation (see
+                :mod:`repro.core.ranking`); the prioritized stream is dealt
+                round-robin across units, highest priority first.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("bits must be a 1-D array")
+        if ranking is None:
+            prioritized = bits
+        else:
+            ranking = np.asarray(ranking, dtype=np.int64)
+            if ranking.shape != (bits.size,):
+                raise ValueError("ranking must be a permutation of the bits")
+            prioritized = bits[ranking]
+
+        n_units = self.units_needed(bits.size)
+        units = []
+        for u in range(n_units):
+            stripe = prioritized[u::n_units]
+            units.append(self.pipeline.encode(stripe))
+        return StoreImage(units=units, n_data_bits=bits.size)
+
+
+    def decode(
+        self,
+        clusters_per_unit: Sequence[Sequence[ReadCluster]],
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+    ):
+        """Decode per-unit clusters back into the payload bits.
+
+        Args:
+            clusters_per_unit: one cluster list per unit, in unit order.
+            n_data_bits: payload size stored at encode time.
+            ranking: the same global permutation used at encode time.
+
+        Returns:
+            ``(bits, StoreReport)``.
+        """
+        n_units = self.units_needed(n_data_bits)
+        if len(clusters_per_unit) != n_units:
+            raise ValueError(
+                f"expected clusters for {n_units} units, got {len(clusters_per_unit)}"
+            )
+        stripe_sizes = [
+            len(range(u, n_data_bits, n_units)) for u in range(n_units)
+        ]
+        prioritized = np.zeros(n_data_bits, dtype=np.uint8)
+        reports = []
+        for u, clusters in enumerate(clusters_per_unit):
+            stripe, report = self.pipeline.decode(clusters, stripe_sizes[u])
+            prioritized[u::n_units] = stripe
+            reports.append(report)
+        if ranking is None:
+            bits = prioritized
+        else:
+            ranking = np.asarray(ranking, dtype=np.int64)
+            if ranking.shape != (n_data_bits,):
+                raise ValueError("ranking length must equal n_data_bits")
+            bits = np.zeros(n_data_bits, dtype=np.uint8)
+            bits[ranking] = prioritized
+        return bits, StoreReport(unit_reports=reports)

@@ -1,0 +1,13 @@
+"""Stream-cipher encryption for end-to-end encrypted storage.
+
+The paper's evaluation stores *encrypted* images and stresses that its
+content-agnostic bit ranking "allows for approximate storage of end-to-end
+encrypted data". That only works because a stream cipher maps a ciphertext
+bit flip to the same plaintext bit flip (no avalanche across the file, in
+contrast to block ciphers in chained modes). ChaCha20 (RFC 8439) is
+implemented from scratch here, plus a tiny convenience wrapper.
+"""
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_decrypt, chacha20_encrypt
+
+__all__ = ["ChaCha20", "chacha20_encrypt", "chacha20_decrypt"]

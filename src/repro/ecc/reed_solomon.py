@@ -1,0 +1,273 @@
+"""Systematic Reed-Solomon codec with error-and-erasure decoding.
+
+This is the ECC used by the paper's storage architecture (its Figure 1):
+each row of the encoding matrix is one RS codeword whose symbols live in
+different DNA molecules. Molecule losses surface as *erasures* (the missing
+column index is known), while indel/substitution noise that survives
+consensus surfaces as symbol *errors* at unknown positions.
+
+The decoder implements the classical chain — syndromes, Berlekamp–Massey
+initialized with the erasure locator, Chien search, Forney algorithm — and
+supports shortened codes (``n < 2^m - 1``), which the scaled experiment
+configurations rely on.
+
+Conventions: a codeword is an array ``c[0..n-1]`` of m-bit symbols;
+``c[i]`` is the coefficient of ``x^(n-1-i)``, i.e. the first array element
+is transmitted first and holds the highest-degree coefficient. The
+generator polynomial has roots ``alpha^0 .. alpha^(nsym-1)`` (fcr = 0).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ecc.gf import GaloisField
+
+
+class DecodeFailure(Exception):
+    """Raised when a codeword is uncorrectable (too many errors/erasures)."""
+
+
+class ReedSolomon:
+    """A systematic RS(n, k) code over GF(2^m).
+
+    Args:
+        m: symbol size in bits (field degree), 2..16.
+        nsym: number of parity symbols (``n - k``). Corrects up to ``nsym``
+            erasures, ``nsym // 2`` errors, or any mix with
+            ``2 * errors + erasures <= nsym``.
+        n: codeword length; defaults to the natural length ``2^m - 1``.
+            Smaller values produce a shortened code.
+    """
+
+    def __init__(self, m: int, nsym: int, n: Optional[int] = None) -> None:
+        self.field = GaloisField.get(m)
+        natural_n = self.field.max_value
+        if n is None:
+            n = natural_n
+        if not (1 <= n <= natural_n):
+            raise ValueError(f"n must be in [1, {natural_n}], got {n}")
+        if not (0 < nsym < n):
+            raise ValueError(f"nsym must be in (0, {n}), got {nsym}")
+        self.m = m
+        self.n = n
+        self.nsym = nsym
+        self.k = n - nsym
+        self._generator = self._build_generator()
+        # Per-position inverse root (alpha^-(n-1-i)) used by the Chien search.
+        degrees = np.arange(self.n - 1, -1, -1, dtype=np.int64)
+        self._inv_roots = np.array(
+            [self.field.alpha_pow(-int(d)) for d in degrees], dtype=np.int64
+        )
+
+    def _build_generator(self) -> np.ndarray:
+        """g(x) = prod_{j=0}^{nsym-1} (x - alpha^j), descending coefficients."""
+        gen = np.array([1], dtype=np.int64)
+        for j in range(self.nsym):
+            gen = self.field.poly_mul(
+                gen, np.array([1, self.field.alpha_pow(j)], dtype=np.int64)
+            )
+        return gen
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, message: Sequence[int]) -> np.ndarray:
+        """Encode ``k`` data symbols into an ``n``-symbol systematic codeword.
+
+        The returned array is ``message || parity``.
+        """
+        message = np.asarray(message, dtype=np.int64)
+        if message.shape != (self.k,):
+            raise ValueError(f"message must have {self.k} symbols, got {message.shape}")
+        if message.size and (message.min() < 0 or message.max() > self.field.max_value):
+            raise ValueError("message symbols out of field range")
+        padded = np.concatenate([message, np.zeros(self.nsym, dtype=np.int64)])
+        _, remainder = self.field.poly_divmod(padded, self._generator)
+        parity = np.zeros(self.nsym, dtype=np.int64)
+        parity[self.nsym - len(remainder):] = remainder
+        return np.concatenate([message, parity])
+
+    def parity(self, message: Sequence[int]) -> np.ndarray:
+        """Return only the ``nsym`` parity symbols for ``message``."""
+        return self.encode(message)[self.k:]
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(
+        self,
+        received: Sequence[int],
+        erasures: Iterable[int] = (),
+    ) -> Tuple[np.ndarray, int]:
+        """Correct a received word in place and return ``(message, n_corrected)``.
+
+        Args:
+            received: ``n`` symbols (erased positions may hold any value,
+                conventionally 0).
+            erasures: indices into ``received`` whose values are known to be
+                unreliable (e.g. lost molecules).
+
+        Returns:
+            The corrected ``k`` data symbols and the number of symbols that
+            were changed or filled (errors + erasures actually corrected).
+
+        Raises:
+            DecodeFailure: when ``2*errors + erasures > nsym`` or the
+                locator polynomial is inconsistent.
+        """
+        word = np.asarray(received, dtype=np.int64).copy()
+        if word.shape != (self.n,):
+            raise ValueError(f"received must have {self.n} symbols, got {word.shape}")
+        erasure_list = sorted(set(int(e) for e in erasures))
+        for pos in erasure_list:
+            if not (0 <= pos < self.n):
+                raise ValueError(f"erasure index {pos} out of range [0, {self.n})")
+        if len(erasure_list) > self.nsym:
+            raise DecodeFailure(
+                f"{len(erasure_list)} erasures exceed correction capability {self.nsym}"
+            )
+        # Zero out erased positions so their prior content cannot bias syndromes.
+        if erasure_list:
+            word[erasure_list] = 0
+
+        syndromes = self._syndromes(word)
+        if not np.any(syndromes):
+            return word[: self.k], len(erasure_list)
+
+        errata_locator = self._berlekamp_massey(syndromes, erasure_list)
+        positions = self._chien_search(errata_locator)
+        degree = len(errata_locator) - 1
+        if len(positions) != degree:
+            raise DecodeFailure(
+                f"locator degree {degree} but found {len(positions)} roots"
+            )
+        n_errors = degree - len(erasure_list)
+        if 2 * n_errors + len(erasure_list) > self.nsym:
+            raise DecodeFailure(
+                f"{n_errors} errors + {len(erasure_list)} erasures exceed capability"
+            )
+        magnitudes = self._forney(syndromes, errata_locator, positions)
+        for pos, mag in zip(positions, magnitudes):
+            word[pos] ^= mag
+        if np.any(self._syndromes(word)):
+            raise DecodeFailure("residual syndromes after correction")
+        return word[: self.k], degree
+
+    def check(self, word: Sequence[int]) -> bool:
+        """Return True if ``word`` is a valid codeword (all syndromes zero)."""
+        word = np.asarray(word, dtype=np.int64)
+        if word.shape != (self.n,):
+            raise ValueError(f"word must have {self.n} symbols, got {word.shape}")
+        return not np.any(self._syndromes(word))
+
+    # -- decoder internals (ascending-order polynomials) ----------------------
+
+    def _syndromes(self, word: np.ndarray) -> np.ndarray:
+        """S_j = C(alpha^j) for j = 0..nsym-1 (ascending array)."""
+        xs = np.array([self.field.alpha_pow(j) for j in range(self.nsym)],
+                      dtype=np.int64)
+        return self.field.poly_eval_many(word, xs)
+
+    def _erasure_locator(self, erasure_list: Sequence[int]) -> list:
+        """Gamma(x) = prod (1 + alpha^d x), ascending coefficient list."""
+        locator = [1]
+        for pos in erasure_list:
+            degree = self.n - 1 - pos
+            root = self.field.alpha_pow(degree)
+            # Multiply locator by (1 + root*x).
+            extended = locator + [0]
+            for i in range(len(locator)):
+                extended[i + 1] ^= self.field.mul(locator[i], root)
+            locator = extended
+        return locator
+
+    def _berlekamp_massey(
+        self, syndromes: np.ndarray, erasure_list: Sequence[int]
+    ) -> list:
+        """Find the errata locator, seeded with the erasure locator.
+
+        Returns the combined locator Lambda(x)*Gamma(x) as an ascending
+        coefficient list with constant term 1.
+        """
+        rho = len(erasure_list)
+        locator = self._erasure_locator(erasure_list)
+        previous = list(locator)
+        for k in range(rho, self.nsym):
+            delta = int(syndromes[k])
+            for j in range(1, len(locator)):
+                if locator[j] and k - j >= 0:
+                    delta ^= self.field.mul(locator[j], int(syndromes[k - j]))
+            previous = [0] + previous  # multiply by x (ascending order)
+            if delta != 0:
+                if len(previous) > len(locator):
+                    new_locator = [self.field.mul(c, delta) for c in previous]
+                    inv_delta = self.field.inv(delta)
+                    previous = [self.field.mul(c, inv_delta) for c in locator]
+                    locator = new_locator
+                scaled = [self.field.mul(c, delta) for c in previous]
+                merged = [0] * max(len(locator), len(scaled))
+                for i, c in enumerate(locator):
+                    merged[i] ^= c
+                for i, c in enumerate(scaled):
+                    merged[i] ^= c
+                locator = merged
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        if locator[0] != 1:
+            raise DecodeFailure("locator constant term is not 1")
+        return locator
+
+    def _chien_search(self, locator: list) -> list:
+        """Return received-array positions where the locator has a root."""
+        loc_desc = np.array(locator[::-1], dtype=np.int64)
+        evaluations = self.field.poly_eval_many(loc_desc, self._inv_roots)
+        return [int(i) for i in np.nonzero(evaluations == 0)[0]]
+
+    def _forney(
+        self, syndromes: np.ndarray, locator: list, positions: Sequence[int]
+    ) -> list:
+        """Error magnitudes e = X * Omega(X^-1) / Lambda'(X^-1) (fcr = 0)."""
+        # Omega(x) = S(x) * Lambda(x) mod x^nsym, ascending coefficients.
+        omega = [0] * self.nsym
+        for i in range(self.nsym):
+            s = int(syndromes[i])
+            if s == 0:
+                continue
+            for j, lam in enumerate(locator):
+                if lam and i + j < self.nsym:
+                    omega[i + j] ^= self.field.mul(s, lam)
+        # Formal derivative keeps odd-degree terms: sum Lambda_j x^(j-1), j odd.
+        derivative = [locator[j] for j in range(1, len(locator), 2)]
+        magnitudes = []
+        for pos in positions:
+            degree = self.n - 1 - pos
+            x = self.field.alpha_pow(degree)
+            x_inv = self.field.inv(x)
+            omega_val = self._eval_ascending(omega, x_inv)
+            # Lambda'(x_inv): even powers of x_inv only (x^(j-1) with j odd).
+            deriv_val = 0
+            power = 1
+            x_inv_sq = self.field.mul(x_inv, x_inv)
+            for coeff in derivative:
+                if coeff:
+                    deriv_val ^= self.field.mul(coeff, power)
+                power = self.field.mul(power, x_inv_sq)
+            if deriv_val == 0:
+                raise DecodeFailure("Forney derivative evaluated to zero")
+            magnitude = self.field.mul(x, self.field.div(omega_val, deriv_val))
+            magnitudes.append(magnitude)
+        return magnitudes
+
+    def _eval_ascending(self, poly: Sequence[int], x: int) -> int:
+        """Evaluate an ascending-order coefficient list at ``x``."""
+        result = 0
+        power = 1
+        for coeff in poly:
+            if coeff:
+                result ^= self.field.mul(coeff, power)
+            power = self.field.mul(power, x)
+        return result
+
+    def __repr__(self) -> str:
+        return f"ReedSolomon(m={self.m}, n={self.n}, k={self.k}, nsym={self.nsym})"

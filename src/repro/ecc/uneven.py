@@ -1,0 +1,191 @@
+"""Unequal error correction — the strawman of the paper's Section 4.1.
+
+Under unequal ECC (the paper's Figure 7) each row of the encoding matrix is
+still one Reed-Solomon codeword, but rows receive *different* amounts of
+parity: rows mapped to reliable molecule positions (the ends) get little
+redundancy while rows in the unreliable middle get a lot.
+
+The paper's argument — which the Fig-12-style experiments in this repo
+reproduce — is that this only works if the skew magnitude assumed at
+*encoding* time matches the skew realized at *decoding* time, potentially
+millennia later under a different sequencing technology and coverage. The
+classes here exist so that the mismatch can be evaluated: you provision for
+one skew profile and decode under another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ecc.reed_solomon import DecodeFailure, ReedSolomon
+
+
+def redundancy_profile_for_skew(
+    skew_curve: Sequence[float],
+    total_parity: int,
+    min_per_row: int = 0,
+    max_per_row: Optional[int] = None,
+) -> List[int]:
+    """Allocate a parity budget across rows proportionally to expected error.
+
+    Args:
+        skew_curve: expected per-row error intensity (any non-negative scale;
+            only proportions matter). One entry per matrix row.
+        total_parity: total number of parity symbols to distribute.
+        min_per_row: lower bound per row (e.g. 0 or 2).
+        max_per_row: optional upper bound per row (e.g. the codeword length
+            minus one data symbol).
+
+    Returns:
+        A list of per-row parity counts summing to ``total_parity``,
+        allocated by the largest-remainder method.
+    """
+    curve = np.asarray(skew_curve, dtype=np.float64)
+    if curve.ndim != 1 or curve.size == 0:
+        raise ValueError("skew_curve must be a non-empty 1-D sequence")
+    if np.any(curve < 0):
+        raise ValueError("skew_curve entries must be non-negative")
+    n_rows = curve.size
+    if total_parity < min_per_row * n_rows:
+        raise ValueError("total_parity too small for the per-row minimum")
+    if max_per_row is not None and total_parity > max_per_row * n_rows:
+        raise ValueError("total_parity too large for the per-row maximum")
+
+    remaining = total_parity - min_per_row * n_rows
+    weights = curve / curve.sum() if curve.sum() > 0 else np.full(n_rows, 1.0 / n_rows)
+    ideal = weights * remaining
+    allocation = np.floor(ideal).astype(int)
+    shortfall = remaining - int(allocation.sum())
+    # Hand out the leftover symbols to the rows with the largest remainders.
+    remainders = ideal - allocation
+    for row in np.argsort(-remainders)[:shortfall]:
+        allocation[row] += 1
+    result = (allocation + min_per_row).tolist()
+    if max_per_row is not None:
+        result = _rebalance_to_cap(result, max_per_row)
+    return result
+
+
+def _rebalance_to_cap(allocation: List[int], cap: int) -> List[int]:
+    """Push any allocation above ``cap`` onto the least-loaded rows."""
+    allocation = list(allocation)
+    overflow = 0
+    for i, value in enumerate(allocation):
+        if value > cap:
+            overflow += value - cap
+            allocation[i] = cap
+    while overflow > 0:
+        target = min(range(len(allocation)), key=lambda i: allocation[i])
+        if allocation[target] >= cap:
+            raise ValueError("cannot satisfy per-row cap")
+        allocation[target] += 1
+        overflow -= 1
+    return allocation
+
+
+@dataclass
+class _RowCodec:
+    codec: Optional[ReedSolomon]  # None when the row has zero parity
+    nsym: int
+
+
+class UnevenEccScheme:
+    """A matrix ECC scheme with per-row Reed-Solomon parity counts.
+
+    Each row is a shortened RS codeword of length ``n_columns`` with its own
+    ``nsym``; rows with ``nsym == 0`` are stored unprotected.
+
+    Args:
+        m: RS symbol size in bits.
+        n_columns: number of molecules (codeword length of every row).
+        parity_per_row: parity symbols for each row, e.g. the output of
+            :func:`redundancy_profile_for_skew`.
+    """
+
+    def __init__(self, m: int, n_columns: int, parity_per_row: Sequence[int]) -> None:
+        self.m = m
+        self.n_columns = n_columns
+        self.parity_per_row = [int(p) for p in parity_per_row]
+        self._rows: List[_RowCodec] = []
+        for nsym in self.parity_per_row:
+            if nsym < 0 or nsym >= n_columns:
+                raise ValueError(f"per-row parity must be in [0, {n_columns}), got {nsym}")
+            codec = ReedSolomon(m, nsym=nsym, n=n_columns) if nsym > 0 else None
+            self._rows.append(_RowCodec(codec=codec, nsym=nsym))
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def data_symbols_per_row(self) -> List[int]:
+        """Data capacity of each row (columns minus that row's parity)."""
+        return [self.n_columns - row.nsym for row in self._rows]
+
+    @property
+    def total_data_symbols(self) -> int:
+        return sum(self.data_symbols_per_row)
+
+    def encode(self, data: Sequence[int]) -> np.ndarray:
+        """Encode a flat symbol stream into an (n_rows, n_columns) matrix.
+
+        Data fills rows top to bottom; each row appends its own parity.
+        """
+        data = np.asarray(data, dtype=np.int64)
+        if data.shape != (self.total_data_symbols,):
+            raise ValueError(
+                f"expected {self.total_data_symbols} data symbols, got {data.shape}"
+            )
+        matrix = np.zeros((self.n_rows, self.n_columns), dtype=np.int64)
+        cursor = 0
+        for r, row in enumerate(self._rows):
+            k = self.n_columns - row.nsym
+            message = data[cursor: cursor + k]
+            cursor += k
+            if row.codec is None:
+                matrix[r] = message
+            else:
+                matrix[r] = row.codec.encode(message)
+        return matrix
+
+    def decode(
+        self,
+        matrix: np.ndarray,
+        erasures: Sequence[int] = (),
+    ) -> Tuple[np.ndarray, List[bool]]:
+        """Decode a received matrix; returns (data stream, per-row success).
+
+        Rows that fail to decode contribute their received data symbols
+        verbatim (possibly corrupt), which is what lets the evaluation
+        measure graceful-versus-catastrophic degradation.
+        """
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (self.n_rows, self.n_columns):
+            raise ValueError(
+                f"expected matrix {(self.n_rows, self.n_columns)}, got {matrix.shape}"
+            )
+        pieces = []
+        row_ok: List[bool] = []
+        for r, row in enumerate(self._rows):
+            k = self.n_columns - row.nsym
+            if row.codec is None:
+                pieces.append(matrix[r, :k])
+                row_ok.append(True)
+                continue
+            try:
+                message, _ = row.codec.decode(matrix[r], erasures=erasures)
+                pieces.append(message)
+                row_ok.append(True)
+            except DecodeFailure:
+                pieces.append(matrix[r, :k])
+                row_ok.append(False)
+        return np.concatenate(pieces), row_ok
+
+    def __repr__(self) -> str:
+        return (
+            f"UnevenEccScheme(m={self.m}, n_columns={self.n_columns}, "
+            f"rows={self.n_rows}, parity={sum(self.parity_per_row)})"
+        )

@@ -1,0 +1,82 @@
+"""ASCII rendering of grayscale images for terminal examples.
+
+Stands in for the paper's Figure 15 (side-by-side decoded photos): the
+examples print retrieved images at different quality-loss levels so the
+degradation is visible without any imaging dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Dark -> bright luminance ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(
+    image: np.ndarray,
+    width: int = 64,
+    invert: bool = False,
+) -> str:
+    """Render a grayscale image as ASCII art.
+
+    Args:
+        image: (H, W) array, any numeric dtype.
+        width: output width in characters; height follows the aspect ratio
+            (halved, since terminal cells are roughly twice as tall as wide).
+        invert: swap dark and bright (for light terminal themes).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D grayscale image, got {image.shape}")
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    height = max(1, int(round(image.shape[0] / image.shape[1] * width / 2)))
+    resized = _resize(image, height, width)
+    low, high = resized.min(), resized.max()
+    if high == low:
+        normalized = np.zeros_like(resized)
+    else:
+        normalized = (resized - low) / (high - low)
+    ramp = _RAMP[::-1] if invert else _RAMP
+    indices = np.clip(
+        (normalized * (len(ramp) - 1)).round().astype(int), 0, len(ramp) - 1
+    )
+    return "\n".join("".join(ramp[i] for i in row) for row in indices)
+
+
+def side_by_side(panels: dict, width: int = 40, gap: int = 3) -> str:
+    """Render several images next to each other with captions.
+
+    Args:
+        panels: caption -> grayscale image.
+        width: per-panel character width.
+        gap: spaces between panels.
+    """
+    if not panels:
+        raise ValueError("panels must not be empty")
+    rendered = {
+        caption: ascii_render(image, width=width).splitlines()
+        for caption, image in panels.items()
+    }
+    height = max(len(lines) for lines in rendered.values())
+    for lines in rendered.values():
+        lines.extend([" " * width] * (height - len(lines)))
+    spacer = " " * gap
+    captions = spacer.join(caption[:width].center(width) for caption in rendered)
+    body = "\n".join(
+        spacer.join(lines[row].ljust(width) for lines in rendered.values())
+        for row in range(height)
+    )
+    return captions + "\n" + body
+
+
+def _resize(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Box-ish resample via index mapping (no scipy dependency needed)."""
+    rows = np.clip(
+        (np.arange(height) + 0.5) * image.shape[0] / height, 0, image.shape[0] - 1
+    ).astype(int)
+    cols = np.clip(
+        (np.arange(width) + 0.5) * image.shape[1] / width, 0, image.shape[1] - 1
+    ).astype(int)
+    return image[np.ix_(rows, cols)]

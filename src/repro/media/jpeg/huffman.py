@@ -1,0 +1,164 @@
+"""Huffman entropy coding for the JPEG codec.
+
+Implements the baseline JPEG entropy layer: Huffman-coded DC categories
+with DPCM differences and AC (run, size) pairs with magnitude bits, using
+the Annex K tables from :mod:`repro.media.jpeg.tables`.
+
+The decoder is *defensive by design*: any invalid code, impossible
+category, or truncated stream raises :class:`EntropyDecodeError` rather
+than returning garbage silently — the robust image decoder catches it and
+degrades gracefully, which is the behaviour the paper's Figure 10 profile
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.media.jpeg.tables import (
+    AC_LUMA_BITS,
+    AC_LUMA_VALUES,
+    DC_LUMA_BITS,
+    DC_LUMA_VALUES,
+    build_huffman_codes,
+    build_huffman_decoder,
+)
+from repro.utils.bitio import BitReader, BitWriter
+
+EOB = 0x00  # end of block
+ZRL = 0xF0  # run of 16 zeros
+
+_DC_CODES = build_huffman_codes(DC_LUMA_BITS, DC_LUMA_VALUES)
+_AC_CODES = build_huffman_codes(AC_LUMA_BITS, AC_LUMA_VALUES)
+_DC_DECODER = build_huffman_decoder(DC_LUMA_BITS, DC_LUMA_VALUES)
+_AC_DECODER = build_huffman_decoder(AC_LUMA_BITS, AC_LUMA_VALUES)
+_MAX_CODE_LENGTH = 16
+
+
+class EntropyDecodeError(Exception):
+    """Raised when the entropy-coded stream is invalid or exhausted."""
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG 'size' of a value: number of bits of |value| (0 for 0)."""
+    return abs(value).bit_length()
+
+
+def encode_magnitude(writer: BitWriter, value: int, category: int) -> None:
+    """Append the ``category`` magnitude bits of ``value``.
+
+    Negative values use the JPEG one's-complement convention:
+    ``value + 2^category - 1``.
+    """
+    if category == 0:
+        return
+    if value < 0:
+        value += (1 << category) - 1
+    writer.write_bits(value, category)
+
+
+def decode_magnitude(reader: BitReader, category: int) -> int:
+    """Read ``category`` magnitude bits and undo the sign convention."""
+    if category == 0:
+        return 0
+    try:
+        raw = reader.read_bits(category)
+    except EOFError as exc:
+        raise EntropyDecodeError("stream exhausted inside magnitude bits") from exc
+    if raw < (1 << (category - 1)):  # high bit clear => negative value
+        return raw - (1 << category) + 1
+    return raw
+
+
+def _write_symbol(writer: BitWriter, symbol: int, codes: Dict[int, Tuple[int, int]]) -> None:
+    code, length = codes[symbol]
+    writer.write_bits(code, length)
+
+
+def _read_symbol(reader: BitReader, decoder: Dict[Tuple[int, int], int]) -> int:
+    code = 0
+    for length in range(1, _MAX_CODE_LENGTH + 1):
+        try:
+            code = (code << 1) | reader.read_bit()
+        except EOFError as exc:
+            raise EntropyDecodeError("stream exhausted inside a Huffman code") from exc
+        symbol = decoder.get((code, length))
+        if symbol is not None:
+            return symbol
+    raise EntropyDecodeError("no Huffman code matched within 16 bits")
+
+
+def encode_block(
+    writer: BitWriter, zigzag_coefficients: List[int], previous_dc: int
+) -> int:
+    """Entropy-encode one block (64 zigzagged quantized coefficients).
+
+    Returns the block's DC value (the caller threads it as the next
+    block's DPCM predictor).
+    """
+    if len(zigzag_coefficients) != 64:
+        raise ValueError(f"expected 64 coefficients, got {len(zigzag_coefficients)}")
+    dc = int(zigzag_coefficients[0])
+    diff = dc - previous_dc
+    category = magnitude_category(diff)
+    if category > 11:
+        raise ValueError(f"DC difference {diff} out of baseline range")
+    _write_symbol(writer, category, _DC_CODES)
+    encode_magnitude(writer, diff, category)
+
+    run = 0
+    for coefficient in zigzag_coefficients[1:]:
+        value = int(coefficient)
+        if value == 0:
+            run += 1
+            continue
+        while run >= 16:
+            _write_symbol(writer, ZRL, _AC_CODES)
+            run -= 16
+        category = magnitude_category(value)
+        if category > 10:
+            raise ValueError(f"AC coefficient {value} out of baseline range")
+        _write_symbol(writer, (run << 4) | category, _AC_CODES)
+        encode_magnitude(writer, value, category)
+        run = 0
+    if run > 0:
+        _write_symbol(writer, EOB, _AC_CODES)
+    return dc
+
+
+def decode_block(reader: BitReader, previous_dc: int) -> List[int]:
+    """Decode one block into 64 zigzagged coefficients.
+
+    Raises:
+        EntropyDecodeError: on any malformed or truncated content.
+    """
+    category = _read_symbol(reader, _DC_DECODER)
+    if category > 11:
+        raise EntropyDecodeError(f"invalid DC category {category}")
+    dc = previous_dc + decode_magnitude(reader, category)
+    if not (-2048 <= dc <= 2047):
+        # Baseline JPEG DC values fit in 11 bits plus sign; a wandering DC
+        # is the signature of a desynchronized stream.
+        raise EntropyDecodeError(f"DC value {dc} outside the baseline range")
+    coefficients = [0] * 64
+    coefficients[0] = dc
+    index = 1
+    while index < 64:
+        symbol = _read_symbol(reader, _AC_DECODER)
+        if symbol == EOB:
+            break
+        if symbol == ZRL:
+            index += 16
+            if index > 64:
+                raise EntropyDecodeError("ZRL ran past the end of the block")
+            continue
+        run = symbol >> 4
+        category = symbol & 0x0F
+        if category == 0 or category > 10:
+            raise EntropyDecodeError(f"invalid AC symbol 0x{symbol:02X}")
+        index += run
+        if index >= 64:
+            raise EntropyDecodeError("AC run ran past the end of the block")
+        coefficients[index] = decode_magnitude(reader, category)
+        index += 1
+    return coefficients

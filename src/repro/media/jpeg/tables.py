@@ -1,0 +1,125 @@
+"""JPEG constants: quantization tables, zigzag order, Annex K Huffman specs.
+
+Everything here is taken from the JPEG standard (ITU-T T.81): the example
+luminance quantization table, the libjpeg-style quality scaling, the 8x8
+zigzag scan, and the "typical" (Annex K) DC/AC luminance Huffman tables
+used by virtually every baseline encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+# ITU-T T.81 Annex K.1 — example luminance quantization table.
+BASE_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quant_table(quality: int) -> np.ndarray:
+    """Scale the base table by a quality factor 1..100 (libjpeg convention)."""
+    if not (1 <= quality <= 100):
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    table = (BASE_LUMA_QUANT * scale + 50) // 100
+    return np.clip(table, 1, 255)
+
+
+def _build_zigzag() -> np.ndarray:
+    """Generate the 8x8 zigzag scan order as 64 flat indices."""
+    order = []
+    for diagonal in range(15):
+        cells = [
+            (i, diagonal - i)
+            for i in range(8)
+            if 0 <= diagonal - i < 8
+        ]
+        if diagonal % 2 == 0:
+            cells.reverse()  # even diagonals run bottom-left to top-right
+        order.extend(row * 8 + col for row, col in cells)
+    return np.array(order, dtype=np.int64)
+
+
+ZIGZAG = _build_zigzag()
+INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+# ITU-T T.81 Annex K.3.1 — DC luminance: counts of codes per length 1..16,
+# then the symbol values in code order.
+DC_LUMA_BITS = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+DC_LUMA_VALUES = list(range(12))
+
+# ITU-T T.81 Annex K.3.2 — AC luminance.
+AC_LUMA_BITS = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D]
+AC_LUMA_VALUES = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+    0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+    0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+    0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+    0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+    0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+    0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+    0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+    0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+    0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+    0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+    0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+    0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+    0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+]
+
+
+def build_huffman_codes(
+    bits: List[int], values: List[int]
+) -> Dict[int, Tuple[int, int]]:
+    """Canonical Huffman codes from a (bits, values) table spec.
+
+    Returns symbol -> (code, code_length), the standard's C.2 procedure:
+    codes of each length are consecutive, and the first code of length
+    ``l+1`` is twice the next code after the last of length ``l``.
+    """
+    if len(bits) != 16:
+        raise ValueError(f"bits must have 16 entries, got {len(bits)}")
+    if sum(bits) != len(values):
+        raise ValueError("bits counts do not match the number of values")
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    index = 0
+    for length in range(1, 17):
+        for _ in range(bits[length - 1]):
+            codes[values[index]] = (code, length)
+            code += 1
+            index += 1
+        code <<= 1
+    return codes
+
+
+def build_huffman_decoder(
+    bits: List[int], values: List[int]
+) -> Dict[Tuple[int, int], int]:
+    """Inverse mapping (code, length) -> symbol for the bit-serial decoder."""
+    return {
+        (code, length): symbol
+        for symbol, (code, length) in build_huffman_codes(bits, values).items()
+    }

@@ -1,0 +1,18 @@
+"""Primer design and PCR-based random access.
+
+Each file in a DNA store is tagged with a primer pair acting as the key of
+a key-value store (the paper's Section 2.1): the PCR reaction selectively
+amplifies only molecules carrying the right pair. This subpackage designs
+primer sets that respect biochemical constraints and are mutually distant,
+and simulates the selection/trim step on noisy reads.
+"""
+
+from repro.primers.design import PrimerDesigner, PrimerPair
+from repro.primers.pcr import PcrSelector, attach_primers
+
+__all__ = [
+    "PrimerDesigner",
+    "PrimerPair",
+    "PcrSelector",
+    "attach_primers",
+]

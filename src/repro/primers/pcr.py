@@ -1,0 +1,88 @@
+"""PCR selection: error-tolerant primer matching and trimming.
+
+The retrieval of a file starts by isolating molecules with the right
+primer pair (the paper's Section 2.1). On noisy reads the primer region
+itself carries errors, so matching is by banded edit distance against the
+read's prefix/suffix windows, and trimming cuts at the best-matching
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.distance import banded_edit_distance
+from repro.primers.design import PrimerPair
+
+
+def attach_primers(payload: str, pair: PrimerPair) -> str:
+    """Prepend the forward and append the reverse primer to a payload."""
+    return pair.forward + payload + pair.reverse
+
+
+@dataclass
+class PcrSelector:
+    """Selects and trims reads carrying a target primer pair.
+
+    Args:
+        pair: the target file's primer pair.
+        max_errors: maximum edit distance tolerated in each primer match.
+        window_slack: extra bases around the expected primer region to
+            search when locating the trim boundary.
+    """
+
+    pair: PrimerPair
+    max_errors: int = 3
+    window_slack: int = 4
+
+    def matches(self, read: str) -> bool:
+        """True when both primers are found within the error budget."""
+        return (
+            self._locate_forward(read) is not None
+            and self._locate_reverse(read) is not None
+        )
+
+    def select(self, reads: Sequence[str]) -> List[str]:
+        """Filter to matching reads and trim the primer regions off."""
+        selected = []
+        for read in reads:
+            trimmed = self.trim(read)
+            if trimmed is not None:
+                selected.append(trimmed)
+        return selected
+
+    def trim(self, read: str) -> Optional[str]:
+        """Strip both primers; None when either primer does not match."""
+        start = self._locate_forward(read)
+        end = self._locate_reverse(read)
+        if start is None or end is None or start > end:
+            return None
+        return read[start:end]
+
+    def _locate_forward(self, read: str) -> Optional[int]:
+        """Best end-offset of the forward primer near the read's start."""
+        primer = self.pair.forward
+        best_cut, best_distance = None, self.max_errors + 1
+        for cut in self._cut_range(len(primer), len(read)):
+            distance = banded_edit_distance(read[:cut], primer, self.max_errors)
+            if distance < best_distance:
+                best_cut, best_distance = cut, distance
+        return best_cut
+
+    def _locate_reverse(self, read: str) -> Optional[int]:
+        """Best start-offset of the reverse primer near the read's end."""
+        primer = self.pair.reverse
+        best_cut, best_distance = None, self.max_errors + 1
+        for cut in self._cut_range(len(primer), len(read)):
+            distance = banded_edit_distance(
+                read[len(read) - cut:], primer, self.max_errors
+            )
+            if distance < best_distance:
+                best_cut, best_distance = len(read) - cut, distance
+        return best_cut
+
+    def _cut_range(self, primer_length: int, read_length: int) -> range:
+        low = max(0, primer_length - self.window_slack)
+        high = min(read_length, primer_length + self.window_slack)
+        return range(low, high + 1)

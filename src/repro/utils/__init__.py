@@ -1,0 +1,31 @@
+"""Shared low-level utilities: bit I/O, RNG normalization, validation."""
+
+from repro.utils.bitio import (
+    BitReader,
+    BitWriter,
+    bits_to_bytes,
+    bytes_to_bits,
+    pack_uint,
+    unpack_uint,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "pack_uint",
+    "unpack_uint",
+    "ensure_rng",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

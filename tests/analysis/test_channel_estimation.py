@@ -1,0 +1,87 @@
+"""Tests for channel-parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.channel_estimation import (
+    ChannelEstimate,
+    count_alignment_operations,
+    estimate_channel,
+)
+from repro.channel import ErrorModel
+from repro.codec.basemap import random_bases
+
+
+class TestCountOperations:
+    def test_identical(self):
+        assert count_alignment_operations("ACGT", "ACGT") == (4, 0, 0, 0)
+
+    def test_single_substitution(self):
+        assert count_alignment_operations("ACGT", "AGGT") == (3, 1, 0, 0)
+
+    def test_single_deletion(self):
+        matches, subs, dels, ins = count_alignment_operations("ACGT", "AGT")
+        assert dels == 1 and ins == 0 and subs == 0 and matches == 3
+
+    def test_single_insertion(self):
+        matches, subs, dels, ins = count_alignment_operations("ACGT", "ACCGT")
+        assert ins == 1 and dels == 0 and matches == 4
+
+    def test_empty_reference(self):
+        assert count_alignment_operations("", "ACG") == (0, 0, 0, 3)
+
+    def test_empty_read(self):
+        assert count_alignment_operations("ACG", "") == (0, 0, 3, 0)
+
+    def test_operation_count_equals_edit_distance(self, rng):
+        from repro.cluster.distance import edit_distance
+        for _ in range(10):
+            a = random_bases(rng.integers(5, 30), rng)
+            b = random_bases(rng.integers(5, 30), rng)
+            _, subs, dels, ins = count_alignment_operations(a, b)
+            assert subs + dels + ins == edit_distance(a, b)
+
+
+class TestEstimateChannel:
+    def test_noiseless(self, rng):
+        strands = [random_bases(100, rng) for _ in range(3)]
+        estimate = estimate_channel(strands, [[s] * 2 for s in strands])
+        assert estimate.total_rate == 0.0
+        assert estimate.n_positions == 600
+
+    def test_recovers_known_rates(self, rng):
+        """Estimates land near the true channel parameters."""
+        model = ErrorModel.with_breakdown(0.09, ins_frac=0.2, del_frac=0.3,
+                                          sub_frac=0.5)
+        strands = [random_bases(300, rng) for _ in range(10)]
+        reads = [model.apply_many(s, 5, rng) for s in strands]
+        estimate = estimate_channel(strands, reads)
+        assert estimate.total_rate == pytest.approx(0.09, abs=0.015)
+        assert estimate.p_substitution == pytest.approx(0.045, abs=0.012)
+        assert estimate.p_deletion == pytest.approx(0.027, abs=0.01)
+        assert estimate.p_insertion == pytest.approx(0.018, abs=0.01)
+
+    def test_indel_fraction(self):
+        estimate = ChannelEstimate(0.01, 0.02, 0.07, n_positions=1000)
+        assert estimate.indel_fraction == pytest.approx(0.3)
+
+    def test_zero_rate_indel_fraction(self):
+        assert ChannelEstimate(0, 0, 0, 0).indel_fraction == 0.0
+
+    def test_empty_input(self):
+        estimate = estimate_channel([], [])
+        assert estimate.n_positions == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_channel(["ACGT"], [])
+
+    def test_blind_estimation_via_consensus(self, rng):
+        """Without ground truth, the consensus estimate works as reference."""
+        from repro.consensus import TwoWayReconstructor
+        model = ErrorModel.uniform(0.06)
+        strand = random_bases(200, rng)
+        reads = model.apply_many(strand, 8, rng)
+        consensus = TwoWayReconstructor().reconstruct(reads, 200)
+        estimate = estimate_channel([consensus], [reads])
+        assert estimate.total_rate == pytest.approx(0.06, abs=0.025)

@@ -1,0 +1,42 @@
+"""Tests for color-image stores (ColorJpegCodec inside the experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ImageStoreExperiment
+from repro.core import MatrixConfig
+from repro.media import ColorJpegCodec, synth_image_rgb
+
+MATRIX = MatrixConfig(m=8, n_columns=200, nsym=37, payload_rows=22)
+
+
+@pytest.fixture(scope="module")
+def store():
+    images = [synth_image_rgb(48, 48, rng=i) for i in range(2)]
+    return ImageStoreExperiment(
+        images, MATRIX, layout="dnamapper",
+        codec=ColorJpegCodec(quality=55), rng=4,
+    )
+
+
+class TestColorStore:
+    def test_archive_fits(self, store):
+        assert store.archive.n_bits <= store.pipeline.capacity_bits
+
+    def test_clean_retrieval_lossless(self, store):
+        pool = store.build_pool(error_rate=0.0, max_coverage=1, rng=0)
+        result = store.retrieve(pool.clusters_at(1))
+        assert result.archive_ok and result.decode_clean
+        assert result.mean_loss_db == 0.0
+
+    def test_noisy_retrieval(self, store):
+        pool = store.build_pool(error_rate=0.05, max_coverage=10, rng=1)
+        result = store.retrieve(pool.clusters_at(10))
+        assert result.archive_ok
+        assert result.mean_loss_db < 1.0
+
+    def test_graceful_degradation(self, store):
+        pool = store.build_pool(error_rate=0.08, max_coverage=10, rng=2)
+        good = store.retrieve(pool.clusters_at(10))
+        bad = store.retrieve(pool.clusters_at(3))
+        assert bad.mean_loss_db >= good.mean_loss_db

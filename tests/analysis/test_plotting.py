@@ -1,0 +1,56 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import ascii_chart
+
+
+class TestAsciiChart:
+    def test_renders_all_rows(self):
+        chart = ascii_chart({"a": [0, 1, 2, 3]}, height=10, width=40)
+        lines = chart.splitlines()
+        # 10 plot rows + x-axis + legend
+        assert len(lines) == 12
+
+    def test_y_limits_in_margin(self):
+        chart = ascii_chart({"a": [2.0, 8.0]}, height=8, width=20)
+        assert "8.000" in chart
+        assert "2.000" in chart
+
+    def test_legend_contains_names(self):
+        chart = ascii_chart({"alpha": [0, 1], "beta": [1, 0]})
+        assert "alpha" in chart and "beta" in chart
+
+    def test_labels_included(self):
+        chart = ascii_chart({"a": [0, 1]}, y_label="err", x_label="pos")
+        assert chart.splitlines()[0] == "err"
+        assert "pos" in chart
+
+    def test_marks_present(self):
+        chart = ascii_chart({"a": [0, 5, 0, 5]}, height=6, width=24)
+        assert "*" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"a": [3, 3, 3]})
+        assert "*" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [0, 1], "b": [0, 1, 2]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1]})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [0, 1]}, height=1, width=4)
+
+    def test_numpy_input(self):
+        chart = ascii_chart({"a": np.linspace(0, 1, 30)})
+        assert isinstance(chart, str)

@@ -1,0 +1,77 @@
+"""Tests for skew statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import errors_per_codeword, gini_coefficient
+from repro.core import BaselineLayout, GiniLayout, MatrixConfig
+
+
+class TestGiniCoefficient:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_total_inequality_approaches_one(self):
+        values = [0] * 99 + [100]
+        assert gini_coefficient(values) > 0.9
+
+    def test_known_value(self):
+        # For [0, 1]: mean absolute difference = 1, mean = 0.5 -> G = 0.5.
+        assert gini_coefficient([0, 1]) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 4])
+        b = gini_coefficient([10, 20, 30, 40])
+        assert a == pytest.approx(b)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+
+class TestErrorsPerCodeword:
+    @pytest.fixture
+    def config(self):
+        return MatrixConfig(m=8, n_columns=20, nsym=4, payload_rows=6)
+
+    def test_baseline_counts_by_row(self, config, rng):
+        layout = BaselineLayout(config)
+        truth = rng.integers(0, 256, (6, 20))
+        received = truth.copy()
+        received[2, 5] ^= 1
+        received[2, 9] ^= 3
+        received[4, 0] ^= 7
+        counts = errors_per_codeword(layout, truth, received)
+        np.testing.assert_array_equal(counts, [0, 0, 2, 0, 1, 0])
+
+    def test_gini_spreads_row_errors(self, config, rng):
+        """Errors concentrated in one matrix row land in *different*
+        diagonal codewords — the mechanism behind Figure 11."""
+        layout = GiniLayout(config)
+        truth = rng.integers(0, 256, (6, 20))
+        received = truth.copy()
+        received[3, :] ^= 1  # an entire row corrupted
+        counts = errors_per_codeword(layout, truth, received)
+        assert counts.sum() == 20
+        assert counts.max() <= int(np.ceil(20 / 6)) + 1  # nearly even
+
+    def test_erased_columns_excluded(self, config, rng):
+        layout = BaselineLayout(config)
+        truth = rng.integers(0, 256, (6, 20))
+        received = truth.copy()
+        received[:, 7] ^= 9
+        counts = errors_per_codeword(layout, truth, received,
+                                     erased_columns=[7])
+        assert counts.sum() == 0
+
+    def test_shape_mismatch_rejected(self, config):
+        layout = BaselineLayout(config)
+        with pytest.raises(ValueError):
+            errors_per_codeword(layout, np.zeros((6, 20)), np.zeros((5, 20)))

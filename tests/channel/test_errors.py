@@ -1,0 +1,137 @@
+"""Tests for the IDS error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import ErrorModel
+from repro.codec.basemap import random_bases
+
+
+class TestConstruction:
+    def test_uniform_split(self):
+        model = ErrorModel.uniform(0.09)
+        assert model.p_insertion == pytest.approx(0.03)
+        assert model.p_deletion == pytest.approx(0.03)
+        assert model.p_substitution == pytest.approx(0.03)
+        assert model.total_rate == pytest.approx(0.09)
+
+    def test_breakdown(self):
+        model = ErrorModel.with_breakdown(0.10, 0.25, 0.25, 0.50)
+        assert model.p_substitution == pytest.approx(0.05)
+
+    def test_breakdown_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ErrorModel.with_breakdown(0.1, 0.5, 0.5, 0.5)
+
+    def test_substitutions_only(self):
+        model = ErrorModel.substitutions_only(0.10)
+        assert model.p_insertion == 0 and model.p_deletion == 0
+
+    def test_indels_only(self):
+        model = ErrorModel.indels_only(0.05, 0.05)
+        assert model.p_substitution == 0
+        assert model.total_rate == pytest.approx(0.10)
+
+    def test_rejects_total_over_one(self):
+        with pytest.raises(ValueError):
+            ErrorModel(p_insertion=0.5, p_deletion=0.5, p_substitution=0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ErrorModel(p_insertion=-0.1, p_deletion=0.0, p_substitution=0.0)
+
+    def test_noiseless_flag(self):
+        assert ErrorModel.uniform(0.0).is_noiseless
+        assert not ErrorModel.uniform(0.01).is_noiseless
+
+
+class TestApply:
+    def test_noiseless_is_identity(self, rng):
+        strand = random_bases(100, rng)
+        assert ErrorModel.uniform(0.0).apply(strand, rng) == strand
+
+    def test_empty_strand(self, rng):
+        assert ErrorModel.uniform(0.1).apply("", rng) == ""
+
+    def test_deterministic_given_seed(self):
+        strand = random_bases(200, rng=0)
+        model = ErrorModel.uniform(0.2)
+        assert model.apply(strand, rng=7) == model.apply(strand, rng=7)
+
+    def test_substitution_only_preserves_length(self, rng):
+        strand = random_bases(300, rng)
+        model = ErrorModel.substitutions_only(0.5)
+        assert len(model.apply(strand, rng)) == len(strand)
+
+    def test_substitution_always_changes_base(self, rng):
+        strand = "A" * 500
+        noisy = ErrorModel.substitutions_only(1.0).apply(strand, rng)
+        assert "A" not in noisy
+
+    def test_deletion_only_shortens(self, rng):
+        strand = random_bases(400, rng)
+        model = ErrorModel(p_insertion=0, p_deletion=0.3, p_substitution=0)
+        noisy = model.apply(strand, rng)
+        assert len(noisy) < len(strand)
+
+    def test_full_deletion(self, rng):
+        model = ErrorModel(p_insertion=0, p_deletion=1.0, p_substitution=0)
+        assert model.apply("ACGTACGT", rng) == ""
+
+    def test_insertion_only_lengthens(self, rng):
+        strand = random_bases(400, rng)
+        model = ErrorModel(p_insertion=0.3, p_deletion=0, p_substitution=0)
+        noisy = model.apply(strand, rng)
+        assert len(noisy) > len(strand)
+
+    def test_insertion_keeps_original_as_subsequence(self, rng):
+        strand = random_bases(60, rng)
+        model = ErrorModel(p_insertion=0.3, p_deletion=0, p_substitution=0)
+        noisy = model.apply(strand, rng)
+        iterator = iter(noisy)
+        assert all(base in iterator for base in strand)
+
+    def test_rate_statistics(self):
+        # Deletion count over many positions concentrates near p_del.
+        model = ErrorModel(p_insertion=0.0, p_deletion=0.1, p_substitution=0.0)
+        strand = "A" * 20000
+        noisy = model.apply(strand, rng=5)
+        deleted_fraction = 1 - len(noisy) / len(strand)
+        assert 0.08 < deleted_fraction < 0.12
+
+    def test_apply_many_independent(self, rng):
+        strand = random_bases(100, rng)
+        copies = ErrorModel.uniform(0.2).apply_many(strand, 5, rng)
+        assert len(copies) == 5
+        assert len(set(copies)) > 1  # overwhelmingly likely to differ
+
+
+class TestApplyIndicesAlphabet:
+    def test_binary_alphabet_stays_binary(self, rng):
+        original = rng.integers(0, 2, 500).astype(np.uint8)
+        model = ErrorModel.uniform(0.3)
+        noisy = model.apply_indices(original, rng, n_alphabet=2)
+        assert set(np.unique(noisy)) <= {0, 1}
+
+    def test_binary_substitution_flips(self, rng):
+        original = np.zeros(100, dtype=np.uint8)
+        model = ErrorModel.substitutions_only(1.0)
+        noisy = model.apply_indices(original, rng, n_alphabet=2)
+        assert noisy.sum() == 100  # every 0 became 1
+
+    def test_rejects_tiny_alphabet(self, rng):
+        with pytest.raises(ValueError):
+            ErrorModel.uniform(0.1).apply_indices(
+                np.zeros(4, dtype=np.uint8), rng, n_alphabet=1
+            )
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10**9), st.floats(0.0, 0.5))
+    def test_output_alphabet_always_valid(self, seed, rate):
+        local = np.random.default_rng(seed)
+        original = local.integers(0, 4, 50).astype(np.uint8)
+        noisy = ErrorModel.uniform(rate).apply_indices(original, local)
+        if noisy.size:
+            assert noisy.max() <= 3

@@ -1,0 +1,37 @@
+"""Tests for named channel profiles."""
+
+import pytest
+
+from repro.channel import (
+    enzymatic_synthesis_profile,
+    illumina_profile,
+    nanopore_profile,
+    uniform_profile,
+)
+
+
+class TestProfiles:
+    def test_uniform_splits_equally(self):
+        model = uniform_profile(0.09)
+        assert model.p_insertion == pytest.approx(model.p_deletion)
+        assert model.p_deletion == pytest.approx(model.p_substitution)
+
+    def test_illumina_is_low_error_sub_dominated(self):
+        model = illumina_profile()
+        assert model.total_rate <= 0.02
+        indel_fraction = (model.p_insertion + model.p_deletion) / model.total_rate
+        assert 0.25 <= indel_fraction <= 0.30  # the paper's NGS breakdown
+
+    def test_nanopore_is_high_error_indel_dominated(self):
+        model = nanopore_profile()
+        assert 0.12 <= model.total_rate <= 0.15
+        indel_fraction = (model.p_insertion + model.p_deletion) / model.total_rate
+        assert indel_fraction > 0.60
+
+    def test_enzymatic_is_very_noisy(self):
+        model = enzymatic_synthesis_profile()
+        assert model.total_rate >= 0.30
+        assert model.p_insertion + model.p_deletion > model.p_substitution
+
+    def test_rates_are_scalable(self):
+        assert nanopore_profile(0.30).total_rate == pytest.approx(0.30)

@@ -1,0 +1,70 @@
+"""Tests for the two-stage (synthesis + sequencing) channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel, FixedCoverage
+from repro.channel.synthesis import SynthesisSimulator, TwoStageSequencer
+from repro.codec.basemap import random_bases
+from repro.consensus import TwoWayReconstructor
+
+
+class TestSynthesisSimulator:
+    def test_noiseless_is_identity(self, rng):
+        strands = [random_bases(40, rng) for _ in range(3)]
+        simulator = SynthesisSimulator(ErrorModel.uniform(0.0))
+        assert simulator.synthesize(strands, rng) == strands
+
+    def test_mutations_applied_once(self, rng):
+        strands = [random_bases(200, rng)]
+        simulator = SynthesisSimulator(ErrorModel.uniform(0.1))
+        synthesized = simulator.synthesize(strands, rng)
+        assert synthesized[0] != strands[0]
+
+    def test_deterministic(self, rng):
+        strands = [random_bases(60, rng)]
+        simulator = SynthesisSimulator(ErrorModel.uniform(0.2))
+        assert (simulator.synthesize(strands, rng=5)
+                == simulator.synthesize(strands, rng=5))
+
+
+class TestTwoStageSequencer:
+    def test_cluster_structure(self, rng):
+        strands = [random_bases(50, rng) for _ in range(4)]
+        channel = TwoStageSequencer(
+            ErrorModel.uniform(0.02), ErrorModel.uniform(0.05),
+            FixedCoverage(6),
+        )
+        clusters = channel.sequence(strands, rng)
+        assert len(clusters) == 4
+        assert all(c.coverage == 6 for c in clusters)
+
+    def test_synthesis_errors_are_shared_across_reads(self, rng):
+        """With zero sequencing noise, all reads equal the mutated molecule
+        — consensus cannot undo a synthesis error no matter the coverage."""
+        strand = random_bases(150, rng)
+        channel = TwoStageSequencer(
+            ErrorModel.uniform(0.10), ErrorModel.uniform(0.0),
+            FixedCoverage(20),
+        )
+        clusters = channel.sequence([strand], rng)
+        reads = clusters[0].reads
+        assert len(set(reads)) == 1       # identical reads
+        assert reads[0] != strand         # but not the designed strand
+        consensus = TwoWayReconstructor().reconstruct(reads, len(strand))
+        errors = sum(a != b for a, b in zip(consensus, strand))
+        assert errors > 0                 # coverage did not help
+
+    def test_sequencing_errors_average_out(self, rng):
+        """With zero synthesis noise, enough coverage recovers the strand."""
+        strand = random_bases(120, rng)
+        channel = TwoStageSequencer(
+            ErrorModel.uniform(0.0), ErrorModel.uniform(0.05),
+            FixedCoverage(12),
+        )
+        clusters = channel.sequence([strand], rng)
+        consensus = TwoWayReconstructor().reconstruct(
+            clusters[0].reads, len(strand)
+        )
+        errors = sum(a != b for a, b in zip(consensus, strand))
+        assert errors <= 2

@@ -1,0 +1,96 @@
+"""Unit and property tests for edit distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.distance import (
+    banded_edit_distance,
+    edit_distance,
+    edit_distance_indices,
+)
+
+DNA = st.text(alphabet="ACGT", max_size=40)
+
+
+def _reference_levenshtein(a: str, b: str) -> int:
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, 1):
+        current = [i]
+        for j, char_b in enumerate(b, 1):
+            current.append(min(
+                previous[j - 1] + (char_a != char_b),
+                previous[j] + 1,
+                current[-1] + 1,
+            ))
+        previous = current
+    return previous[-1]
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("A", "", 1),
+        ("", "ACGT", 4),
+        ("ACGT", "ACGT", 0),
+        ("ACGT", "AGGT", 1),      # substitution
+        ("ACGT", "ACGGT", 1),     # insertion
+        ("ACGT", "AGT", 1),       # deletion
+        ("GATTACA", "GCATGCT", 4),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @given(DNA, DNA)
+    def test_matches_reference(self, a, b):
+        assert edit_distance(a, b) == _reference_levenshtein(a, b)
+
+    @given(DNA, DNA)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(DNA)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=50)
+    @given(DNA, DNA, DNA)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_indices_variant(self, rng):
+        a = rng.integers(0, 4, 20)
+        b = rng.integers(0, 4, 25)
+        from repro.codec.basemap import indices_to_bases
+        assert edit_distance_indices(a, b) == edit_distance(
+            indices_to_bases(a), indices_to_bases(b)
+        )
+
+
+class TestBandedEditDistance:
+    @given(DNA, DNA)
+    def test_exact_within_band(self, a, b):
+        true_distance = _reference_levenshtein(a, b)
+        result = banded_edit_distance(a, b, band=8)
+        if true_distance <= 8:
+            assert result == true_distance
+        else:
+            assert result > 8
+
+    def test_band_zero_equal_strings(self):
+        assert banded_edit_distance("ACGT", "ACGT", band=0) == 0
+
+    def test_band_zero_different_strings(self):
+        assert banded_edit_distance("ACGT", "ACGA", band=0) > 0
+
+    def test_length_gap_short_circuit(self):
+        assert banded_edit_distance("A" * 30, "A", band=3) == 29
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("A", "A", band=-1)
+
+    def test_certificate_exceeds_band(self):
+        # Distance 4 with band 2: any value > 2 is acceptable.
+        assert banded_edit_distance("AAAA", "TTTT", band=2) > 2

@@ -1,0 +1,33 @@
+"""Tests for oracle clustering."""
+
+import pytest
+
+from repro.cluster import perfect_clusters
+
+
+class TestPerfectClusters:
+    def test_groups_by_source(self):
+        tagged = [(0, "AA"), (1, "CC"), (0, "AT"), (2, "GG")]
+        clusters = perfect_clusters(tagged, n_strands=3)
+        assert [c.source_index for c in clusters] == [0, 1, 2]
+        assert clusters[0].reads == ["AA", "AT"]
+        assert clusters[1].reads == ["CC"]
+        assert clusters[2].reads == ["GG"]
+
+    def test_missing_source_yields_empty_cluster(self):
+        clusters = perfect_clusters([(0, "AA")], n_strands=2)
+        assert clusters[1].is_lost
+
+    def test_preserves_read_order(self):
+        tagged = [(0, "A"), (0, "C"), (0, "G")]
+        clusters = perfect_clusters(tagged, n_strands=1)
+        assert clusters[0].reads == ["A", "C", "G"]
+
+    def test_rejects_out_of_range_source(self):
+        with pytest.raises(ValueError):
+            perfect_clusters([(5, "AA")], n_strands=2)
+
+    def test_empty_input(self):
+        clusters = perfect_clusters([], n_strands=3)
+        assert len(clusters) == 3
+        assert all(c.is_lost for c in clusters)

@@ -1,0 +1,57 @@
+"""Tests for biochemical constraint validators."""
+
+import pytest
+
+from repro.codec.constraints import (
+    gc_content,
+    max_homopolymer_run,
+    violates_constraints,
+)
+
+
+class TestGcContent:
+    def test_empty(self):
+        assert gc_content("") == 0.0
+
+    def test_all_gc(self):
+        assert gc_content("GCGC") == 1.0
+
+    def test_half(self):
+        assert gc_content("ATGC") == 0.5
+
+    def test_no_gc(self):
+        assert gc_content("ATAT") == 0.0
+
+
+class TestHomopolymerRun:
+    def test_empty(self):
+        assert max_homopolymer_run("") == 0
+
+    def test_single(self):
+        assert max_homopolymer_run("A") == 1
+
+    def test_no_repeats(self):
+        assert max_homopolymer_run("ACGTACGT") == 1
+
+    def test_run_in_middle(self):
+        assert max_homopolymer_run("ACGGGT") == 3
+
+    def test_run_at_end(self):
+        assert max_homopolymer_run("ACGTTTT") == 4
+
+
+class TestViolatesConstraints:
+    def test_good_strand(self):
+        assert not violates_constraints("ACGTACGTACGT")  # GC = 0.5, runs = 1
+
+    def test_homopolymer_violation(self):
+        assert violates_constraints("ACGTAAAAGT", max_run=3)
+
+    def test_gc_too_low(self):
+        assert violates_constraints("ATATATATAT")
+
+    def test_gc_too_high(self):
+        assert violates_constraints("GCGCGCGCGC")
+
+    def test_custom_window(self):
+        assert not violates_constraints("GCGCGCGCGC", gc_low=0.9, gc_high=1.0)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests that need randomness use this."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix_config():
+    """A small but non-trivial encoding-unit geometry for pipeline tests."""
+    from repro.core import MatrixConfig
+
+    return MatrixConfig(m=8, n_columns=60, nsym=12, payload_rows=10)

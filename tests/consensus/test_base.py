@@ -1,0 +1,43 @@
+"""Tests for shared consensus helpers."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.base import column_votes, majority_vote
+
+
+class TestMajorityVote:
+    def test_clear_majority(self):
+        assert majority_vote([1, 1, 2]) == 1
+
+    def test_empty_ballot(self):
+        assert majority_vote([]) is None
+
+    def test_tie_breaks_to_lowest(self):
+        assert majority_vote([3, 0]) == 0
+
+    def test_single_vote(self):
+        assert majority_vote([2]) == 2
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            majority_vote([1], tie_break="random")
+
+    def test_binary_alphabet(self):
+        assert majority_vote([1, 1, 0], n_alphabet=2) == 1
+
+
+class TestColumnVotes:
+    def test_counts_active_reads(self):
+        reads = [np.array([0, 1]), np.array([2]), np.array([0])]
+        pointers = np.array([0, 0, 0])
+        np.testing.assert_array_equal(
+            column_votes(reads, pointers), [2, 0, 1, 0]
+        )
+
+    def test_exhausted_reads_do_not_vote(self):
+        reads = [np.array([0]), np.array([1, 1])]
+        pointers = np.array([1, 1])  # first read exhausted
+        np.testing.assert_array_equal(
+            column_votes(reads, pointers), [0, 1, 0, 0]
+        )

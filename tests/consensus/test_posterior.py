@@ -1,0 +1,129 @@
+"""Tests for the symbolwise posterior reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel
+from repro.codec.basemap import bases_to_indices, random_bases
+from repro.consensus import TwoWayReconstructor
+from repro.consensus.posterior import PosteriorReconstructor
+
+
+@pytest.fixture
+def reconstructor():
+    return PosteriorReconstructor(channel=ErrorModel.uniform(0.08))
+
+
+def _index_reads(model, strand, coverage, rng):
+    return [bases_to_indices(r) for r in model.apply_many(strand, coverage, rng)]
+
+
+class TestBasics:
+    def test_identical_reads(self, reconstructor):
+        strand = "ACGTTGCAACGTAC"
+        assert reconstructor.reconstruct([strand] * 3, len(strand)) == strand
+
+    def test_exact_length(self, reconstructor):
+        assert len(reconstructor.reconstruct(["ACGTACG"] * 2, 12)) == 12
+
+    def test_empty_cluster(self, reconstructor):
+        assert reconstructor.reconstruct([], 5) == "AAAAA"
+
+    def test_zero_length(self, reconstructor):
+        assert reconstructor.reconstruct(["ACGT"], 0) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PosteriorReconstructor(max_iterations=0)
+        with pytest.raises(ValueError):
+            PosteriorReconstructor(channel=ErrorModel.uniform(1.0))
+
+    def test_deterministic(self, reconstructor, rng):
+        strand = random_bases(80, rng)
+        model = ErrorModel.uniform(0.08)
+        reads = _index_reads(model, strand, 5, rng)
+        first = reconstructor.reconstruct_indices(reads, 80)
+        second = reconstructor.reconstruct_indices(reads, 80)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestAccuracy:
+    def test_competitive_with_two_way(self, rng):
+        model = ErrorModel.uniform(0.08)
+        posterior = PosteriorReconstructor(channel=model)
+        two_way = TwoWayReconstructor()
+        length = 120
+        posterior_errors = two_way_errors = 0
+        for _ in range(12):
+            strand = random_bases(length, rng)
+            reads = _index_reads(model, strand, 6, rng)
+            target = bases_to_indices(strand)
+            posterior_errors += int(
+                (posterior.reconstruct_indices(reads, length) != target).sum()
+            )
+            two_way_errors += int(
+                (two_way.reconstruct_indices(reads, length) != target).sum()
+            )
+        assert posterior_errors <= two_way_errors * 1.15
+
+    def test_substitution_only_nearly_perfect(self, rng):
+        model = ErrorModel.substitutions_only(0.12)
+        reconstructor = PosteriorReconstructor(channel=model)
+        length = 100
+        total = 0
+        for _ in range(10):
+            strand = random_bases(length, rng)
+            reads = _index_reads(model, strand, 5, rng)
+            total += int(
+                (reconstructor.reconstruct_indices(reads, length)
+                 != bases_to_indices(strand)).sum()
+            )
+        assert total <= 5
+
+
+class TestConfidence:
+    def test_shape_and_range(self, reconstructor, rng):
+        strand = random_bases(60, rng)
+        reads = _index_reads(ErrorModel.uniform(0.08), strand, 4, rng)
+        confidence = reconstructor.positional_confidence(reads, 60)
+        assert confidence.shape == (60,)
+        assert (confidence > 0).all() and (confidence <= 1.0 + 1e-9).all()
+
+    def test_clean_cluster_fully_confident(self, reconstructor):
+        strand = "ACGTACGTACGTACGT"
+        reads = [bases_to_indices(strand)] * 4
+        confidence = reconstructor.positional_confidence(reads, len(strand))
+        assert confidence.min() > 0.95
+
+    def test_wrong_positions_less_confident(self, rng):
+        """Aggregate correlation: error positions carry lower confidence."""
+        model = ErrorModel.uniform(0.10)
+        reconstructor = PosteriorReconstructor(channel=model)
+        length = 120
+        confidence_correct = []
+        confidence_wrong = []
+        for _ in range(25):
+            strand = random_bases(length, rng)
+            reads = _index_reads(model, strand, 5, rng)
+            target = bases_to_indices(strand)
+            estimate, confidence = reconstructor._run(reads, length)
+            wrong = estimate != target
+            confidence_correct.extend(confidence[~wrong])
+            confidence_wrong.extend(confidence[wrong])
+        assert np.mean(confidence_wrong) < np.mean(confidence_correct)
+
+    def test_confidence_dips_mid_strand(self, rng):
+        """The skew, seen through posterior mass: middle < ends."""
+        model = ErrorModel.uniform(0.10)
+        reconstructor = PosteriorReconstructor(channel=model)
+        length = 120
+        profile = np.zeros(length)
+        trials = 25
+        for _ in range(trials):
+            strand = random_bases(length, rng)
+            reads = _index_reads(model, strand, 5, rng)
+            profile += reconstructor.positional_confidence(reads, length)
+        profile /= trials
+        edges = np.concatenate([profile[:15], profile[-15:]]).mean()
+        middle = profile[45:75].mean()
+        assert middle < edges

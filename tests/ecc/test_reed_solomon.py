@@ -1,0 +1,212 @@
+"""Unit and property tests for the Reed-Solomon codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import DecodeFailure, ReedSolomon
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return ReedSolomon(8, nsym=16, n=80)
+
+
+def _corrupt(word, positions, rng):
+    word = word.copy()
+    for pos in positions:
+        word[pos] ^= int(rng.integers(1, 256))
+    return word
+
+
+class TestConstruction:
+    def test_natural_length_default(self):
+        assert ReedSolomon(8, nsym=32).n == 255
+
+    def test_shortened(self, rs):
+        assert rs.n == 80 and rs.k == 64
+
+    def test_rejects_oversized_n(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(4, nsym=2, n=16)
+
+    def test_rejects_bad_nsym(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(8, nsym=0)
+        with pytest.raises(ValueError):
+            ReedSolomon(8, nsym=80, n=80)
+
+    def test_repr(self, rs):
+        assert "n=80" in repr(rs)
+
+
+class TestEncode:
+    def test_systematic_prefix(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        np.testing.assert_array_equal(codeword[: rs.k], message)
+
+    def test_codeword_validates(self, rs, rng):
+        codeword = rs.encode(rng.integers(0, 256, rs.k))
+        assert rs.check(codeword)
+
+    def test_zero_message_gives_zero_codeword(self, rs):
+        codeword = rs.encode(np.zeros(rs.k, dtype=np.int64))
+        assert not codeword.any()
+
+    def test_wrong_length_rejected(self, rs):
+        with pytest.raises(ValueError):
+            rs.encode(np.zeros(rs.k + 1, dtype=np.int64))
+
+    def test_out_of_field_symbol_rejected(self, rs):
+        message = np.zeros(rs.k, dtype=np.int64)
+        message[0] = 256
+        with pytest.raises(ValueError):
+            rs.encode(message)
+
+    def test_parity_helper(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        np.testing.assert_array_equal(
+            rs.parity(message), rs.encode(message)[rs.k:]
+        )
+
+    def test_linearity(self, rs, rng):
+        a = rng.integers(0, 256, rs.k)
+        b = rng.integers(0, 256, rs.k)
+        np.testing.assert_array_equal(
+            rs.encode(a) ^ rs.encode(b), rs.encode(a ^ b)
+        )
+
+
+class TestDecodeErrors:
+    def test_no_errors(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        decoded, n = rs.decode(rs.encode(message))
+        np.testing.assert_array_equal(decoded, message)
+        assert n == 0
+
+    @pytest.mark.parametrize("n_errors", [1, 4, 8])
+    def test_corrects_up_to_capability(self, rs, rng, n_errors):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        positions = rng.choice(rs.n, n_errors, replace=False)
+        decoded, n = rs.decode(_corrupt(codeword, positions, rng))
+        np.testing.assert_array_equal(decoded, message)
+        assert n == n_errors
+
+    def test_fails_beyond_capability(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        positions = rng.choice(rs.n, 20, replace=False)
+        corrupted = _corrupt(codeword, positions, rng)
+        try:
+            decoded, _ = rs.decode(corrupted)
+            # A miscorrection is theoretically possible but must not
+            # silently return the true message while claiming success.
+            assert not np.array_equal(decoded, message) or rs.check(
+                np.concatenate([decoded, rs.parity(decoded)])
+            )
+        except DecodeFailure:
+            pass  # the expected outcome
+
+    def test_wrong_length_rejected(self, rs):
+        with pytest.raises(ValueError):
+            rs.decode(np.zeros(10, dtype=np.int64))
+
+
+class TestDecodeErasures:
+    def test_full_erasure_budget(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        erasures = rng.choice(rs.n, rs.nsym, replace=False)
+        word = codeword.copy()
+        word[erasures] = 0
+        decoded, _ = rs.decode(word, erasures=erasures)
+        np.testing.assert_array_equal(decoded, message)
+
+    def test_erasure_values_are_ignored(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        erasures = [0, 5, 17]
+        word = codeword.copy()
+        word[erasures] = 255  # garbage, not zero
+        decoded, _ = rs.decode(word, erasures=erasures)
+        np.testing.assert_array_equal(decoded, message)
+
+    def test_too_many_erasures(self, rs):
+        with pytest.raises(DecodeFailure):
+            rs.decode(np.zeros(rs.n, dtype=np.int64),
+                      erasures=list(range(rs.nsym + 1)))
+
+    def test_erasure_index_out_of_range(self, rs):
+        with pytest.raises(ValueError):
+            rs.decode(np.zeros(rs.n, dtype=np.int64), erasures=[rs.n])
+
+    def test_duplicate_erasures_collapse(self, rs, rng):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        word = codeword.copy()
+        word[3] = 0
+        decoded, _ = rs.decode(word, erasures=[3, 3, 3])
+        np.testing.assert_array_equal(decoded, message)
+
+
+class TestDecodeMixed:
+    @pytest.mark.parametrize("n_errors,n_erasures", [(1, 14), (4, 8), (7, 2)])
+    def test_mixed_within_budget(self, rs, rng, n_errors, n_erasures):
+        message = rng.integers(0, 256, rs.k)
+        codeword = rs.encode(message)
+        all_positions = rng.permutation(rs.n)
+        erasures = all_positions[:n_erasures]
+        errors = all_positions[n_erasures: n_erasures + n_errors]
+        word = codeword.copy()
+        word[erasures] = 0
+        word = _corrupt(word, errors, rng)
+        decoded, _ = rs.decode(word, erasures=erasures)
+        np.testing.assert_array_equal(decoded, message)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**9), st.integers(0, 8), st.integers(0, 8))
+    def test_random_mixes(self, seed, n_errors, n_erasures):
+        if 2 * n_errors + n_erasures > 16:
+            return
+        local = np.random.default_rng(seed)
+        codec = ReedSolomon(8, nsym=16, n=60)
+        message = local.integers(0, 256, codec.k)
+        codeword = codec.encode(message)
+        positions = local.permutation(codec.n)
+        erasures = positions[:n_erasures]
+        errors = positions[n_erasures: n_erasures + n_errors]
+        word = codeword.copy()
+        word[erasures] = 0
+        word = _corrupt(word, errors, local)
+        decoded, _ = codec.decode(word, erasures=erasures)
+        np.testing.assert_array_equal(decoded, message)
+
+
+class TestOtherFields:
+    @pytest.mark.parametrize("m", [4, 12, 16])
+    def test_roundtrip_with_errors(self, m, rng):
+        n = min((1 << m) - 1, 40)
+        codec = ReedSolomon(m, nsym=8, n=n)
+        message = rng.integers(0, 1 << m, codec.k)
+        codeword = codec.encode(message)
+        word = codeword.copy()
+        for pos in rng.choice(n, 4, replace=False):
+            word[pos] ^= int(rng.integers(1, 1 << m))
+        decoded, _ = codec.decode(word)
+        np.testing.assert_array_equal(decoded, message)
+
+    def test_paper_scale_gf16_smoke(self, rng):
+        # The paper's field (GF(2^16)); a shortened codeword keeps it fast.
+        codec = ReedSolomon(16, nsym=12, n=100)
+        message = rng.integers(0, 1 << 16, codec.k)
+        codeword = codec.encode(message)
+        word = codeword.copy()
+        word[0] ^= 1
+        word[50] ^= 40000
+        erasures = [70, 71, 72]
+        word[70:73] = 0
+        decoded, _ = codec.decode(word, erasures=erasures)
+        np.testing.assert_array_equal(decoded, message)

@@ -1,0 +1,116 @@
+"""Property-style tests of Reed-Solomon code structure."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import DecodeFailure, ReedSolomon
+
+
+class TestMinimumDistance:
+    def test_mds_distance_small_code(self):
+        """RS is MDS: distinct codewords differ in >= nsym + 1 positions.
+
+        Verified exhaustively for a tiny code: GF(16), n=6, k=2 — all 256
+        messages, pairwise.
+        """
+        code = ReedSolomon(4, nsym=4, n=6)
+        codewords = [
+            code.encode(np.array(message, dtype=np.int64))
+            for message in itertools.product(range(16), repeat=2)
+        ]
+        minimum = min(
+            int((a != b).sum())
+            for i, a in enumerate(codewords)
+            for b in codewords[i + 1:]
+        )
+        assert minimum == code.nsym + 1
+
+    def test_burst_error_correction(self, rng):
+        """Bursts are no harder than scattered errors for RS symbols."""
+        code = ReedSolomon(8, nsym=12, n=60)
+        message = rng.integers(0, 256, code.k)
+        codeword = code.encode(message)
+        word = codeword.copy()
+        start = 20
+        for offset in range(6):  # a 6-symbol burst, t = 6
+            word[start + offset] ^= int(rng.integers(1, 256))
+        decoded, _ = code.decode(word)
+        np.testing.assert_array_equal(decoded, message)
+
+    def test_boundary_position_errors(self, rng):
+        code = ReedSolomon(8, nsym=8, n=40)
+        message = rng.integers(0, 256, code.k)
+        codeword = code.encode(message)
+        word = codeword.copy()
+        word[0] ^= 0xFF
+        word[code.n - 1] ^= 0x01
+        decoded, n = code.decode(word)
+        np.testing.assert_array_equal(decoded, message)
+        assert n == 2
+
+    def test_boundary_position_erasures(self, rng):
+        code = ReedSolomon(8, nsym=8, n=40)
+        message = rng.integers(0, 256, code.k)
+        codeword = code.encode(message)
+        word = codeword.copy()
+        word[[0, code.n - 1]] = 0
+        decoded, _ = code.decode(word, erasures=[0, code.n - 1])
+        np.testing.assert_array_equal(decoded, message)
+
+
+class TestCodewordAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_sum_of_codewords_is_a_codeword(self, seed):
+        rng = np.random.default_rng(seed)
+        code = ReedSolomon(8, nsym=6, n=30)
+        a = code.encode(rng.integers(0, 256, code.k))
+        b = code.encode(rng.integers(0, 256, code.k))
+        assert code.check(a ^ b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_single_error_always_detected(self, seed):
+        rng = np.random.default_rng(seed)
+        code = ReedSolomon(8, nsym=4, n=25)
+        codeword = code.encode(rng.integers(0, 256, code.k))
+        position = int(rng.integers(0, code.n))
+        word = codeword.copy()
+        word[position] ^= int(rng.integers(1, 256))
+        assert not code.check(word)
+        decoded, n = code.decode(word)
+        np.testing.assert_array_equal(decoded, codeword[: code.k])
+        assert n == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**9), st.integers(1, 6))
+    def test_erasures_cheaper_than_errors(self, seed, budget):
+        """nsym erasures are correctable where nsym errors are not."""
+        rng = np.random.default_rng(seed)
+        code = ReedSolomon(8, nsym=6, n=30)
+        message = rng.integers(0, 256, code.k)
+        codeword = code.encode(message)
+        positions = rng.choice(code.n, 6, replace=False)
+        # As erasures: always recoverable.
+        word = codeword.copy()
+        word[positions] = 0
+        decoded, _ = code.decode(word, erasures=positions)
+        np.testing.assert_array_equal(decoded, message)
+
+
+class TestShortenedCodeEquivalence:
+    def test_shortened_equals_zero_padded(self, rng):
+        """A shortened codeword equals the tail of the full-length codeword
+        of the zero-padded message (the standard shortening construction)."""
+        full = ReedSolomon(4, nsym=4)          # n = 15
+        short = ReedSolomon(4, nsym=4, n=9)    # k = 5
+        message = rng.integers(0, 16, short.k)
+        padded = np.concatenate([np.zeros(full.k - short.k, dtype=np.int64),
+                                 message])
+        np.testing.assert_array_equal(
+            full.encode(padded)[full.k - short.k:], short.encode(message)
+        )

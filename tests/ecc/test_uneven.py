@@ -1,0 +1,119 @@
+"""Tests for the unequal-error-correction strawman."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import UnevenEccScheme, redundancy_profile_for_skew
+
+
+class TestRedundancyProfile:
+    def test_sums_to_budget(self):
+        profile = redundancy_profile_for_skew([1, 5, 9, 5, 1], total_parity=20)
+        assert sum(profile) == 20
+
+    def test_proportionality(self):
+        profile = redundancy_profile_for_skew([0, 10, 0], total_parity=10)
+        assert profile == [0, 10, 0]
+
+    def test_middle_gets_more(self):
+        curve = [1, 3, 8, 3, 1]
+        profile = redundancy_profile_for_skew(curve, total_parity=16)
+        assert profile[2] == max(profile)
+        assert profile[0] <= profile[1] <= profile[2]
+
+    def test_min_per_row(self):
+        profile = redundancy_profile_for_skew([0, 0, 100], 10, min_per_row=2)
+        assert min(profile) >= 2
+        assert sum(profile) == 10
+
+    def test_flat_curve_splits_evenly(self):
+        profile = redundancy_profile_for_skew([1, 1, 1, 1], total_parity=8)
+        assert profile == [2, 2, 2, 2]
+
+    def test_zero_curve_splits_evenly(self):
+        profile = redundancy_profile_for_skew([0, 0, 0, 0], total_parity=4)
+        assert sum(profile) == 4
+
+    def test_max_per_row_cap(self):
+        profile = redundancy_profile_for_skew(
+            [100, 1, 1], total_parity=12, max_per_row=6
+        )
+        assert max(profile) <= 6
+        assert sum(profile) == 12
+
+    def test_rejects_negative_curve(self):
+        with pytest.raises(ValueError):
+            redundancy_profile_for_skew([-1, 1], 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            redundancy_profile_for_skew([], 4)
+
+    def test_rejects_infeasible_minimum(self):
+        with pytest.raises(ValueError):
+            redundancy_profile_for_skew([1, 1], total_parity=1, min_per_row=1)
+
+
+class TestUnevenEccScheme:
+    @pytest.fixture
+    def scheme(self):
+        return UnevenEccScheme(8, n_columns=50, parity_per_row=[2, 8, 14, 8, 2])
+
+    def test_data_capacity(self, scheme):
+        assert scheme.data_symbols_per_row == [48, 42, 36, 42, 48]
+        assert scheme.total_data_symbols == 216
+
+    def test_roundtrip_noiseless(self, scheme, rng):
+        data = rng.integers(0, 256, scheme.total_data_symbols)
+        decoded, row_ok = scheme.decode(scheme.encode(data))
+        np.testing.assert_array_equal(decoded, data)
+        assert all(row_ok)
+
+    def test_row_with_zero_parity_is_unprotected(self, rng):
+        scheme = UnevenEccScheme(8, n_columns=20, parity_per_row=[0, 4])
+        data = rng.integers(0, 256, scheme.total_data_symbols)
+        matrix = scheme.encode(data)
+        matrix[0, 3] ^= 99  # row 0 has no parity: corruption passes through
+        decoded, row_ok = scheme.decode(matrix)
+        assert row_ok == [True, True]
+        assert not np.array_equal(decoded, data)
+
+    def test_heavily_protected_row_corrects(self, scheme, rng):
+        data = rng.integers(0, 256, scheme.total_data_symbols)
+        matrix = scheme.encode(data)
+        for col in (0, 10, 20, 30, 40, 44, 45):  # 7 errors, t = 14/2 = 7
+            matrix[2, col] ^= int(rng.integers(1, 256))
+        decoded, row_ok = scheme.decode(matrix)
+        assert all(row_ok)
+        np.testing.assert_array_equal(decoded, data)
+
+    def test_lightly_protected_row_fails_under_same_load(self, scheme, rng):
+        data = rng.integers(0, 256, scheme.total_data_symbols)
+        matrix = scheme.encode(data)
+        for col in (0, 10, 20, 30, 40):  # 5 errors > t = 1 for nsym=2
+            matrix[0, col] ^= int(rng.integers(1, 256))
+        decoded, row_ok = scheme.decode(matrix)
+        assert not row_ok[0]
+        # The mismatch with the assumed skew is the paper's whole point:
+        # the same error load that row 2 shrugs off destroys row 0.
+
+    def test_erasures_forwarded_to_rows(self, scheme, rng):
+        data = rng.integers(0, 256, scheme.total_data_symbols)
+        matrix = scheme.encode(data)
+        matrix[:, 7] = 0
+        decoded, row_ok = scheme.decode(matrix, erasures=[7])
+        # Rows with nsym >= 1 can absorb one erasure; nsym=2 rows included.
+        assert all(row_ok)
+        np.testing.assert_array_equal(decoded, data)
+
+    def test_rejects_bad_parity_count(self):
+        with pytest.raises(ValueError):
+            UnevenEccScheme(8, n_columns=10, parity_per_row=[10])
+
+    def test_encode_rejects_wrong_size(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.encode(np.zeros(5, dtype=np.int64))
+
+    def test_decode_rejects_wrong_shape(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.decode(np.zeros((2, 50), dtype=np.int64))

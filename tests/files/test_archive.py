@@ -1,0 +1,124 @@
+"""Tests for the archive container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.files import (
+    ArchiveError,
+    FileEntry,
+    pack_archive,
+    unpack_archive,
+    unpack_archive_robust,
+)
+from repro.files.archive import directory_size_bits
+
+
+def _entries(*pairs):
+    return [FileEntry(name=name, data=data) for name, data in pairs]
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        entries = _entries(("a.bin", b"hello"), ("b.bin", b"world!!"))
+        packed = pack_archive(entries)
+        assert unpack_archive(packed.data) == entries
+
+    def test_empty_archive(self):
+        packed = pack_archive([])
+        assert unpack_archive(packed.data) == []
+
+    def test_empty_file(self):
+        entries = _entries(("empty", b""))
+        assert unpack_archive(pack_archive(entries).data) == entries
+
+    def test_unicode_names(self):
+        entries = _entries(("フォト.jpg", b"\x00\x01"))
+        assert unpack_archive(pack_archive(entries).data) == entries
+
+    def test_segment_bits_match_layout(self):
+        entries = _entries(("x", b"12345"), ("y", b"678"))
+        packed = pack_archive(entries)
+        assert packed.segment_bits[1] == 5 * 8
+        assert packed.segment_bits[2] == 3 * 8
+        assert sum(packed.segment_bits) == packed.n_bits
+
+    def test_directory_segment_index(self):
+        assert pack_archive([]).directory_segment == 0
+
+    @settings(max_examples=40)
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=20), st.binary(max_size=200)),
+        max_size=6,
+    ))
+    def test_roundtrip_property(self, pairs):
+        entries = [FileEntry(name=f"{i}_{name}", data=data)
+                   for i, (name, data) in enumerate(pairs)]
+        assert unpack_archive(pack_archive(entries).data) == entries
+
+
+class TestDirectorySizeBits:
+    def test_matches_segment_zero(self):
+        packed = pack_archive(_entries(("a", b"xyz"), ("bb", b"")))
+        assert directory_size_bits(packed.data) == packed.segment_bits[0]
+
+    def test_bad_magic(self):
+        with pytest.raises(ArchiveError):
+            directory_size_bits(b"XXX" + b"\x00" * 10)
+
+    def test_too_short(self):
+        with pytest.raises(ArchiveError):
+            directory_size_bits(b"AR1")
+
+
+class TestStrictUnpackErrors:
+    def test_truncated_header(self):
+        with pytest.raises(ArchiveError):
+            unpack_archive(b"AR1\x00")
+
+    def test_bad_magic(self):
+        packed = pack_archive(_entries(("a", b"1")))
+        with pytest.raises(ArchiveError):
+            unpack_archive(b"XR1" + packed.data[3:])
+
+    def test_truncated_payload(self):
+        packed = pack_archive(_entries(("a", b"123456")))
+        with pytest.raises(ArchiveError):
+            unpack_archive(packed.data[:-3])
+
+    def test_trailing_garbage(self):
+        packed = pack_archive(_entries(("a", b"1")))
+        with pytest.raises(ArchiveError):
+            unpack_archive(packed.data + b"zz")
+
+    def test_directory_overflow(self):
+        packed = bytearray(pack_archive(_entries(("a", b"1"))).data)
+        packed[3:7] = (10**6).to_bytes(4, "big")  # absurd directory length
+        with pytest.raises(ArchiveError):
+            unpack_archive(bytes(packed))
+
+
+class TestRobustUnpack:
+    def test_corrupt_payload_is_contained(self):
+        entries = _entries(("a", b"A" * 50), ("b", b"B" * 50))
+        packed = bytearray(pack_archive(entries).data)
+        packed[-10] ^= 0xFF  # corrupt inside file b's payload
+        recovered = unpack_archive_robust(bytes(packed))
+        assert recovered[0].data == entries[0].data  # file a untouched
+        assert recovered[1].data != entries[1].data
+        assert len(recovered[1].data) == 50
+
+    def test_truncated_payload_zero_padded(self):
+        packed = pack_archive(_entries(("a", b"123456"))).data
+        recovered = unpack_archive_robust(packed[:-2])
+        assert recovered[0].data == b"1234\x00\x00"
+
+    def test_corrupt_directory_still_raises(self):
+        packed = bytearray(pack_archive(_entries(("a", b"1"))).data)
+        packed[0] = 0  # destroy the magic
+        with pytest.raises(ArchiveError):
+            unpack_archive_robust(bytes(packed))
+
+    def test_name_too_long_rejected_at_pack(self):
+        with pytest.raises(ArchiveError):
+            pack_archive(_entries(("x" * 5000, b"")))

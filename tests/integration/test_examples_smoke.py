@@ -1,0 +1,49 @@
+"""Smoke tests: the quick examples must run end to end.
+
+Only the fast examples are exercised (the sweep-based ones take minutes
+and are covered by the benchmarks they mirror).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesSmoke:
+    def test_quickstart_runs(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "baseline" in output and "gini" in output
+        assert "exact=True" in output
+
+    def test_random_access_runs(self, capsys):
+        module = _load("random_access")
+        module.main()
+        output = capsys.readouterr().out
+        assert "exact=True" in output
+
+    def test_examples_exist_and_have_mains(self):
+        expected = {
+            "quickstart", "skew_profile", "approximate_images",
+            "degradation_gallery", "read_cost_savings", "random_access",
+            "system_planning",
+        }
+        found = {path.stem for path in _EXAMPLES.glob("*.py")}
+        assert expected <= found
+        for name in expected:
+            source = (_EXAMPLES / f"{name}.py").read_text()
+            assert "def main()" in source
+            assert '__main__' in source

@@ -1,0 +1,59 @@
+"""Tests for blockwise DCT plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.media.jpeg.dct import blockify, forward_dct, inverse_dct, unblockify
+
+
+class TestBlockify:
+    def test_exact_multiple(self):
+        image = np.arange(256).reshape(16, 16)
+        blocks, padded_shape, grid = blockify(image)
+        assert blocks.shape == (4, 8, 8)
+        assert padded_shape == (16, 16)
+        assert grid == (2, 2)
+
+    def test_padding_replicates_edges(self):
+        image = np.ones((10, 12))
+        blocks, padded_shape, grid = blockify(image)
+        assert padded_shape == (16, 16)
+        reassembled = unblockify(blocks, padded_shape, grid, (10, 12))
+        np.testing.assert_array_equal(reassembled, image)
+
+    def test_block_content(self):
+        image = np.arange(64).reshape(8, 8)
+        blocks, _, _ = blockify(image)
+        np.testing.assert_array_equal(blocks[0], image)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            blockify(np.zeros((4, 4, 3)))
+
+    def test_roundtrip_odd_shapes(self, rng):
+        for shape in [(17, 23), (8, 9), (31, 8)]:
+            image = rng.integers(0, 256, shape)
+            blocks, padded_shape, grid = blockify(image)
+            back = unblockify(blocks, padded_shape, grid, shape)
+            np.testing.assert_array_equal(back, image)
+
+
+class TestDct:
+    def test_inverse_of_forward(self, rng):
+        blocks = rng.normal(0, 50, (6, 8, 8))
+        np.testing.assert_allclose(
+            inverse_dct(forward_dct(blocks)), blocks, atol=1e-9
+        )
+
+    def test_constant_block_energy_in_dc(self):
+        blocks = np.full((1, 8, 8), 10.0)
+        coefficients = forward_dct(blocks)
+        assert coefficients[0, 0, 0] == pytest.approx(80.0)  # 10 * 8
+        assert np.abs(coefficients[0]).sum() == pytest.approx(80.0)
+
+    def test_parseval_energy_preserved(self, rng):
+        blocks = rng.normal(0, 30, (3, 8, 8))
+        coefficients = forward_dct(blocks)
+        np.testing.assert_allclose(
+            (blocks**2).sum(), (coefficients**2).sum(), rtol=1e-9
+        )

@@ -1,0 +1,179 @@
+"""Tests for the color JPEG codec (YCbCr 4:2:0)."""
+
+import numpy as np
+import pytest
+
+from repro.media import ColorJpegCodec, psnr, synth_image_rgb
+from repro.media.jpeg.color import (
+    chroma_quant_table,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.utils.bitio import bits_to_bytes, bytes_to_bits
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synth_image_rgb(80, 64, rng=21)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ColorJpegCodec(quality=75)
+
+
+@pytest.fixture(scope="module")
+def compressed(image, codec):
+    return codec.encode(image)
+
+
+class TestColorConversions:
+    def test_roundtrip(self, rng):
+        rgb = rng.integers(0, 256, (16, 16, 3)).astype(np.uint8)
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 2
+
+    def test_gray_has_neutral_chroma(self):
+        gray = np.full((4, 4, 3), 100, dtype=np.uint8)
+        ycbcr = rgb_to_ycbcr(gray)
+        np.testing.assert_allclose(ycbcr[..., 1], 128.0, atol=1e-9)
+        np.testing.assert_allclose(ycbcr[..., 2], 128.0, atol=1e-9)
+
+    def test_luma_weights(self):
+        red = np.zeros((1, 1, 3)); red[0, 0, 0] = 255
+        assert rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299 * 255)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            ycbcr_to_rgb(np.zeros((4, 4)))
+
+
+class TestSubsampling:
+    def test_box_average(self):
+        plane = np.array([[0, 4], [8, 4]], dtype=np.float64)
+        assert subsample_420(plane)[0, 0] == 4.0
+
+    def test_odd_dimensions_padded(self):
+        plane = np.ones((5, 7))
+        assert subsample_420(plane).shape == (3, 4)
+
+    def test_upsample_crop(self):
+        small = np.arange(6, dtype=np.float64).reshape(2, 3)
+        up = upsample_420(small, (3, 5))
+        assert up.shape == (3, 5)
+        assert up[0, 0] == small[0, 0]
+        assert up[2, 4] == small[1, 2]
+
+    def test_down_up_roundtrip_on_smooth_plane(self):
+        ys, xs = np.mgrid[0:16, 0:16]
+        plane = (ys + xs).astype(np.float64)
+        up = upsample_420(subsample_420(plane), (16, 16))
+        assert np.abs(up - plane).mean() < 1.5
+
+
+class TestChromaQuant:
+    def test_quality_scaling(self):
+        assert (chroma_quant_table(90) <= chroma_quant_table(50)).all()
+
+    def test_range(self):
+        for quality in (1, 50, 100):
+            table = chroma_quant_table(quality)
+            assert table.min() >= 1 and table.max() <= 255
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chroma_quant_table(0)
+
+
+class TestColorCodec:
+    def test_roundtrip_quality(self, image, codec, compressed):
+        decoded = codec.decode(compressed)
+        assert decoded.shape == image.shape
+        assert psnr(image, decoded) > 25.0
+
+    def test_compresses(self, image, compressed):
+        assert len(compressed) < image.size
+
+    def test_color_survives(self, codec):
+        """A saturated red block must still be red after the roundtrip."""
+        red = np.zeros((16, 16, 3), dtype=np.uint8)
+        red[..., 0] = 200
+        decoded = codec.decode(codec.encode(red))
+        assert decoded[..., 0].mean() > 150
+        assert decoded[..., 1].mean() < 80
+
+    def test_rejects_grayscale_input(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((8, 8), dtype=np.uint8))
+
+    def test_odd_dimensions(self, codec):
+        image = synth_image_rgb(33, 29, rng=5)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+
+    def test_strict_decode_raises_on_truncation(self, codec, compressed):
+        with pytest.raises(ValueError):
+            codec.decode(compressed[: len(compressed) // 2])
+
+    def test_robust_decode_never_raises(self, codec, compressed, rng):
+        bits = bytes_to_bits(compressed)
+        for _ in range(15):
+            flipped = bits.copy()
+            for position in rng.choice(len(bits), 4, replace=False):
+                flipped[position] ^= 1
+            decoded, stats = codec.decode_robust(bits_to_bytes(flipped))
+            assert decoded.dtype == np.uint8
+
+    def test_destroyed_header_fallback(self, codec, compressed):
+        decoded, stats = codec.decode_robust(b"XX" + compressed[2:])
+        assert stats.blocks_decoded == 0
+
+    def test_stream_tail_is_least_critical(self, codec, image, rng):
+        """Corruption damage is bounded by what follows it in the stream:
+        flips in the final sliver of the entropy stream (the very end of
+        the Cr plane) hurt far less than flips in the header region or
+        the early luma stream. (Unlike grayscale, *mid*-stream flips can
+        be very damaging here — an aborted chroma plane becomes a global
+        color cast — so the sharp property is head-vs-tail.)"""
+        compressed = codec.encode(image)
+        clean, _ = codec.decode_robust(compressed)
+        bits = bytes_to_bits(compressed)
+        n = len(bits)
+
+        def mean_psnr(lo, hi):
+            values = []
+            span = np.arange(lo, hi)
+            for position in rng.choice(span, min(30, len(span)), replace=False):
+                flipped = bits.copy()
+                flipped[position] ^= 1
+                decoded, _ = codec.decode_robust(bits_to_bytes(flipped))
+                if decoded.shape != clean.shape:
+                    values.append(5.0)
+                else:
+                    values.append(min(psnr(clean, decoded), 60.0))
+            return np.mean(values)
+
+        head = mean_psnr(0, n // 10)        # header + first luma blocks
+        tail = mean_psnr(n - n // 20, n)    # last 5% of the stream
+        assert tail > head
+
+
+class TestSynthRgb:
+    def test_shape_and_dtype(self):
+        image = synth_image_rgb(32, 48, rng=0)
+        assert image.shape == (32, 48, 3)
+        assert image.dtype == np.uint8
+
+    def test_is_colorful(self):
+        image = synth_image_rgb(64, 64, rng=1).astype(float)
+        channel_spread = np.abs(image[..., 0] - image[..., 2]).mean()
+        assert channel_spread > 5.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            synth_image_rgb(32, 32, rng=9), synth_image_rgb(32, 32, rng=9)
+        )

@@ -1,0 +1,90 @@
+"""Tests for JPEG constant tables."""
+
+import numpy as np
+import pytest
+
+from repro.media.jpeg.tables import (
+    AC_LUMA_BITS,
+    AC_LUMA_VALUES,
+    BASE_LUMA_QUANT,
+    DC_LUMA_BITS,
+    DC_LUMA_VALUES,
+    INVERSE_ZIGZAG,
+    ZIGZAG,
+    build_huffman_codes,
+    build_huffman_decoder,
+    quant_table,
+)
+
+
+class TestQuantTable:
+    def test_quality_50_is_base(self):
+        np.testing.assert_array_equal(quant_table(50), BASE_LUMA_QUANT)
+
+    def test_higher_quality_smaller_steps(self):
+        assert (quant_table(90) <= quant_table(50)).all()
+
+    def test_lower_quality_bigger_steps(self):
+        assert (quant_table(10) >= quant_table(50)).all()
+
+    def test_steps_within_byte_range(self):
+        for quality in (1, 25, 75, 100):
+            table = quant_table(quality)
+            assert table.min() >= 1 and table.max() <= 255
+
+    def test_quality_range_enforced(self):
+        with pytest.raises(ValueError):
+            quant_table(0)
+        with pytest.raises(ValueError):
+            quant_table(101)
+
+
+class TestZigzag:
+    def test_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+
+    def test_inverse(self):
+        np.testing.assert_array_equal(ZIGZAG[INVERSE_ZIGZAG], np.arange(64))
+
+    def test_standard_prefix(self):
+        # The first entries of the standard zigzag scan: (0,0) (0,1) (1,0)
+        # (2,0) (1,1) (0,2) ...
+        assert ZIGZAG[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+    def test_ends_at_bottom_right(self):
+        assert ZIGZAG[63] == 63
+
+
+class TestHuffmanTables:
+    def test_dc_table_counts(self):
+        assert sum(DC_LUMA_BITS) == len(DC_LUMA_VALUES) == 12
+
+    def test_ac_table_counts(self):
+        assert sum(AC_LUMA_BITS) == len(AC_LUMA_VALUES) == 162
+
+    def test_codes_are_prefix_free(self):
+        codes = build_huffman_codes(AC_LUMA_BITS, AC_LUMA_VALUES)
+        as_strings = [
+            format(code, f"0{length}b") for code, length in codes.values()
+        ]
+        for i, a in enumerate(as_strings):
+            for j, b in enumerate(as_strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_decoder_inverts_encoder(self):
+        codes = build_huffman_codes(DC_LUMA_BITS, DC_LUMA_VALUES)
+        decoder = build_huffman_decoder(DC_LUMA_BITS, DC_LUMA_VALUES)
+        for symbol, (code, length) in codes.items():
+            assert decoder[(code, length)] == symbol
+
+    def test_known_dc_code(self):
+        # In the Annex K DC table, category 0 has the 2-bit code 00.
+        codes = build_huffman_codes(DC_LUMA_BITS, DC_LUMA_VALUES)
+        assert codes[0] == (0b00, 2)
+
+    def test_bits_spec_validated(self):
+        with pytest.raises(ValueError):
+            build_huffman_codes([1] * 15, [0])
+        with pytest.raises(ValueError):
+            build_huffman_codes([1] + [0] * 15, [0, 1])

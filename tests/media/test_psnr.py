@@ -1,0 +1,57 @@
+"""Tests for the PSNR quality metric."""
+
+import numpy as np
+import pytest
+
+from repro.media import psnr, quality_loss_db
+
+
+class TestPsnr:
+    def test_identical_images_infinite(self):
+        image = np.full((8, 8), 100, dtype=np.uint8)
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 16.0)  # MSE = 256 -> PSNR = 10*log10(255^2/256)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 256))
+
+    def test_monotone_in_noise(self, rng):
+        image = rng.integers(0, 256, (32, 32)).astype(np.float64)
+        small = image + rng.normal(0, 2, image.shape)
+        large = image + rng.normal(0, 20, image.shape)
+        assert psnr(image, small) > psnr(image, large)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_custom_peak(self):
+        a = np.zeros((4, 4))
+        b = np.ones((4, 4))
+        assert psnr(a, b, peak=1.0) == pytest.approx(0.0)
+
+
+class TestQualityLoss:
+    def test_zero_loss_for_identical_decode(self, rng):
+        original = rng.integers(0, 256, (16, 16)).astype(np.float64)
+        clean = original + 1.0
+        assert quality_loss_db(original, clean, clean.copy()) == 0.0
+
+    def test_positive_loss_for_degradation(self, rng):
+        original = rng.integers(0, 256, (16, 16)).astype(np.float64)
+        clean = original + rng.normal(0, 1, original.shape)
+        corrupted = original + rng.normal(0, 25, original.shape)
+        assert quality_loss_db(original, clean, corrupted) > 0
+
+    def test_floored_at_zero(self, rng):
+        original = rng.integers(0, 256, (16, 16)).astype(np.float64)
+        clean = original + rng.normal(0, 10, original.shape)
+        better = original + rng.normal(0, 1, original.shape)
+        assert quality_loss_db(original, clean, better) == 0.0
+
+    def test_lossless_reference_uses_ceiling(self):
+        original = np.zeros((8, 8))
+        corrupted = np.full((8, 8), 50.0)
+        loss = quality_loss_db(original, original.copy(), corrupted)
+        assert loss > 0 and np.isfinite(loss)

@@ -1,0 +1,44 @@
+"""Tests for the synthetic image generator."""
+
+import numpy as np
+import pytest
+
+from repro.media import synth_image
+
+
+class TestSynthImage:
+    def test_shape_and_dtype(self):
+        image = synth_image(48, 64, rng=0)
+        assert image.shape == (48, 64)
+        assert image.dtype == np.uint8
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            synth_image(32, 32, rng=5), synth_image(32, 32, rng=5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            synth_image(32, 32, rng=1), synth_image(32, 32, rng=2)
+        )
+
+    def test_uses_dynamic_range(self):
+        image = synth_image(128, 128, rng=3)
+        assert image.max() - image.min() > 60
+
+    def test_has_structure_not_noise(self):
+        """Neighbouring pixels correlate far more than in white noise."""
+        image = synth_image(128, 128, rng=4).astype(np.float64)
+        horizontal_diff = np.abs(np.diff(image, axis=1)).mean()
+        assert horizontal_diff < 20  # white noise would be ~85
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            synth_image(8, 64)
+
+    def test_compressibility(self):
+        """Synthetic photos must compress like photos (JPEG gets traction)."""
+        from repro.media import JpegCodec
+        image = synth_image(128, 128, rng=6)
+        compressed = JpegCodec(quality=75).encode(image)
+        assert len(compressed) < image.size / 2

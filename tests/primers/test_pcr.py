@@ -1,0 +1,76 @@
+"""Tests for PCR selection and trimming."""
+
+import pytest
+
+from repro.channel import ErrorModel
+from repro.codec.basemap import random_bases
+from repro.primers import PcrSelector, PrimerPair, attach_primers
+
+
+@pytest.fixture
+def pair():
+    return PrimerPair(forward="ACGTACGTACGTACGTACGT",
+                      reverse="TGCATGCATGCATGCATGCA")
+
+
+@pytest.fixture
+def other_pair():
+    return PrimerPair(forward="GGTTGGTTAACCAACCGGTT",
+                      reverse="CCAACCAATTGGTTGGCCAA")
+
+
+class TestAttachPrimers:
+    def test_layout(self, pair):
+        tagged = attach_primers("AAAA", pair)
+        assert tagged.startswith(pair.forward)
+        assert tagged.endswith(pair.reverse)
+        assert len(tagged) == 4 + pair.overhead_bases
+
+
+class TestPcrSelector:
+    def test_clean_read_matches_and_trims(self, pair):
+        payload = "ACCATTGGAACCATTGG"
+        read = attach_primers(payload, pair)
+        selector = PcrSelector(pair)
+        assert selector.matches(read)
+        assert selector.trim(read) == payload
+
+    def test_wrong_primer_rejected(self, pair, other_pair):
+        read = attach_primers("ACCATTGGAACCATTGG", other_pair)
+        selector = PcrSelector(pair, max_errors=3)
+        assert not selector.matches(read)
+
+    def test_noisy_primer_tolerated(self, pair, rng):
+        payload = random_bases(30, rng)
+        read = attach_primers(payload, pair)
+        model = ErrorModel.uniform(0.04)
+        selector = PcrSelector(pair, max_errors=4)
+        matched = 0
+        for _ in range(20):
+            noisy = model.apply(read, rng)
+            if selector.matches(noisy):
+                matched += 1
+        assert matched >= 16  # the occasional heavy corruption may miss
+
+    def test_trim_recovers_payload_approximately(self, pair, rng):
+        payload = random_bases(40, rng)
+        read = attach_primers(payload, pair)
+        selector = PcrSelector(pair, max_errors=3)
+        trimmed = selector.trim(read)
+        assert trimmed == payload
+
+    def test_select_filters_mixture(self, pair, other_pair, rng):
+        mine = [attach_primers(random_bases(20, rng), pair) for _ in range(5)]
+        theirs = [attach_primers(random_bases(20, rng), other_pair)
+                  for _ in range(5)]
+        selector = PcrSelector(pair, max_errors=3)
+        selected = selector.select(mine + theirs)
+        assert len(selected) == 5
+
+    def test_trim_returns_none_on_mismatch(self, pair, other_pair):
+        selector = PcrSelector(pair, max_errors=2)
+        assert selector.trim(attach_primers("AAAA", other_pair)) is None
+
+    def test_read_shorter_than_primers(self, pair):
+        selector = PcrSelector(pair, max_errors=2)
+        assert selector.trim("ACG") is None

@@ -1,0 +1,55 @@
+"""Tests for RNG normalization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**30)
+        b = ensure_rng(2).integers(0, 2**30)
+        assert a != b
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 2**30, 5)
+        b = children[1].integers(0, 2**30, 5)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 2**30) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 2**30) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

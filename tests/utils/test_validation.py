@@ -1,0 +1,50 @@
+"""Tests for argument validators."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        check_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError, match="p must be"):
+            check_probability(value, "p")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.5, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range(1, "x", 1, 3)
+        check_in_range(3, "x", 1, 3)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            check_in_range(4, "x", 1, 3)
