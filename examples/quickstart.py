@@ -3,10 +3,16 @@
 
 Encodes a random payload into one encoding unit under each of the three
 layouts (baseline, Gini, DnaMapper), pushes the synthesized strands
-through a noisy sequencing channel, and decodes. Run with::
+through a noisy sequencing channel, and decodes. ``pipeline.decode``
+funnels every cluster through the consensus engine's batched entry point
+(``reconstruct_many``) — one vectorized scan advances all 120 clusters at
+once, which is why the decode line below takes milliseconds rather than
+seconds. Run with::
 
     python examples/quickstart.py
 """
+
+import time
 
 import numpy as np
 
@@ -17,6 +23,7 @@ from repro import (
     MatrixConfig,
     PipelineConfig,
     SequencingSimulator,
+    TwoWayReconstructor,
 )
 
 
@@ -42,11 +49,24 @@ def main() -> None:
         )
         unit = pipeline.encode(payload)
         clusters = simulator.sequence(unit.strands, rng)
+        start = time.perf_counter()
         decoded, report = pipeline.decode(clusters, payload.size)
+        elapsed_ms = 1000 * (time.perf_counter() - start)
         ok = bool(np.array_equal(decoded, payload))
         print(f"{layout:10s}: exact={ok} clean={report.clean} "
               f"erasures={len(report.erased_columns)} "
-              f"symbols_corrected={report.corrected_symbols}")
+              f"symbols_corrected={report.corrected_symbols} "
+              f"decode={elapsed_ms:.0f}ms")
+
+    # The batched consensus API can also be driven directly: one call
+    # reconstructs every cluster of the unit through a single vectorized
+    # scan (identical output to reconstructing clusters one at a time).
+    live = [c.reads for c in clusters if not c.is_lost]
+    strands = TwoWayReconstructor().reconstruct_many(
+        live, matrix.strand_length
+    )
+    print(f"batched consensus: {len(strands)} strands of "
+          f"{len(strands[0])} bases reconstructed in one call")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,12 @@
   archive stored under any layout, retrieved at varying coverage, with
   per-image quality-loss accounting and the honest staged decode for
   DnaMapper (directory first, then the ranking it implies).
+
+Every retrieval in these harnesses goes through
+:meth:`repro.core.pipeline.DnaStoragePipeline.receive`, which decodes all
+of a unit's clusters in one batched consensus call — the coverage sweeps
+here run hundreds of unit decodes, so they are only tractable because of
+that batch path.
 """
 
 from __future__ import annotations

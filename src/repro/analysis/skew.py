@@ -43,15 +43,19 @@ def positional_error_profile(
     if coverage < 1:
         raise ValueError(f"coverage must be >= 1, got {coverage}")
     generator = ensure_rng(rng)
-    errors = np.zeros(length, dtype=np.float64)
-    for _ in range(trials):
+    # Generate every trial's cluster first (same RNG call order as the old
+    # per-trial loop), then reconstruct all trials in one batched call.
+    originals = np.empty((trials, length), dtype=np.int64)
+    clusters = []
+    for t in range(trials):
         original = generator.integers(0, n_alphabet, size=length).astype(np.uint8)
-        reads = [
+        originals[t] = original
+        clusters.append([
             error_model.apply_indices(original, generator, n_alphabet=n_alphabet)
             for _ in range(coverage)
-        ]
-        estimate = reconstructor.reconstruct_indices(reads, length)
-        errors += estimate != original
+        ])
+    estimates = reconstructor.reconstruct_many_indices(clusters, length)
+    errors = (np.stack(estimates) != originals).sum(axis=0, dtype=np.float64)
     return errors / trials
 
 
@@ -71,19 +75,27 @@ def positional_error_profile_binary(
     search), which picks among tied optima the string *most accurate in
     the middle* — attempting to produce the opposite skew.
     """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if coverage < 1:
+        raise ValueError(f"coverage must be >= 1, got {coverage}")
     generator = ensure_rng(rng)
-    errors = np.zeros(length, dtype=np.float64)
-    for _ in range(trials):
+    originals = np.empty((trials, length), dtype=np.int64)
+    clusters = []
+    for t in range(trials):
         original = generator.integers(0, 2, size=length).astype(np.uint8)
-        reads = [
+        originals[t] = original
+        clusters.append([
             error_model.apply_indices(original, generator, n_alphabet=2)
             for _ in range(coverage)
+        ])
+    if adversarial:
+        # Adversarial selection needs the original per trial; stays scalar.
+        estimates = [
+            reconstructor.reconstruct_adversarial(reads, length, original)
+            for reads, original in zip(clusters, originals)
         ]
-        if adversarial:
-            estimate = reconstructor.reconstruct_adversarial(
-                reads, length, original.astype(np.int64)
-            )
-        else:
-            estimate = reconstructor.reconstruct_indices(reads, length)
-        errors += estimate != original
+    else:
+        estimates = reconstructor.reconstruct_many_indices(clusters, length)
+    errors = (np.stack(estimates) != originals).sum(axis=0, dtype=np.float64)
     return errors / trials

@@ -14,12 +14,13 @@ The retrieval methodology of the paper's Section 6.1.2 is reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.coverage import CoverageModel, FixedCoverage
 from repro.channel.errors import ErrorModel
+from repro.codec.basemap import bases_to_indices
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -43,6 +44,28 @@ class ReadCluster:
     def is_lost(self) -> bool:
         """True when the strand received no reads at all (an erasure)."""
         return not self.reads
+
+    def read_indices(self) -> List[np.ndarray]:
+        """The reads as symbol-index arrays (what the consensus engines eat)."""
+        return [bases_to_indices(read) for read in self.reads]
+
+    def padded_matrix(self, pad: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """The cluster as one ``(n_reads, max_len + pad)`` index matrix.
+
+        An analysis-friendly view using the same convention as the batched
+        consensus engine (sentinel -1 past each read's end; ``pad`` appends
+        extra sentinel columns). Returns ``(matrix, lengths)``; the matrix
+        is empty with zero columns for a lost cluster.
+        """
+        if pad < 0:
+            raise ValueError(f"pad must be non-negative, got {pad}")
+        indices = self.read_indices()
+        lengths = np.array([len(r) for r in indices], dtype=np.int64)
+        width = int(lengths.max()) + pad if len(indices) else 0
+        matrix = np.full((len(indices), width), -1, dtype=np.int64)
+        for i, read in enumerate(indices):
+            matrix[i, : len(read)] = read
+        return matrix, lengths
 
 
 class SequencingSimulator:

@@ -18,6 +18,13 @@ Algorithms provided:
 * :class:`repro.consensus.median.OptimalMedianReconstructor` — exact
   constrained edit-distance median via branch and bound, with the paper's
   adversarial tie-breaking (Fig 6).
+
+The production pointer scans are *batched*: every reconstructor accepts a
+whole unit's clusters through ``reconstruct_many`` /
+``reconstruct_many_indices`` and the one-way/two-way engines advance all
+clusters simultaneously. The frozen single-cluster originals live in
+:mod:`repro.consensus.reference` (``Reference*Reconstructor``) and are
+pinned byte-identical to the batched engine by the differential tests.
 """
 
 from repro.consensus.base import Reconstructor, majority_vote
@@ -25,6 +32,11 @@ from repro.consensus.bma import OneWayReconstructor
 from repro.consensus.iterative import IterativeReconstructor
 from repro.consensus.median import OptimalMedianReconstructor
 from repro.consensus.posterior import PosteriorReconstructor
+from repro.consensus.reference import (
+    ReferenceIterativeReconstructor,
+    ReferenceOneWayReconstructor,
+    ReferenceTwoWayReconstructor,
+)
 from repro.consensus.two_way import TwoWayReconstructor
 
 __all__ = [
@@ -35,4 +47,7 @@ __all__ = [
     "IterativeReconstructor",
     "OptimalMedianReconstructor",
     "PosteriorReconstructor",
+    "ReferenceOneWayReconstructor",
+    "ReferenceTwoWayReconstructor",
+    "ReferenceIterativeReconstructor",
 ]

@@ -18,7 +18,16 @@ from repro.codec.basemap import bases_to_indices, indices_to_bases
 
 
 class Reconstructor:
-    """Interface for consensus-finding algorithms."""
+    """Interface for consensus-finding algorithms.
+
+    Besides the one-cluster entry points, every reconstructor exposes a
+    *batch* API (:meth:`reconstruct_many` / :meth:`reconstruct_many_indices`)
+    taking a whole unit's worth of clusters at once. The default
+    implementations simply loop; engines that can advance many clusters
+    simultaneously (the pointer scans in :mod:`repro.consensus.bma`)
+    override the index variant with a genuinely batched computation, which
+    is where the pipeline's decode speed comes from.
+    """
 
     def reconstruct(self, reads: Sequence[str], length: int) -> str:
         """Return a length-``length`` estimate of the cluster's original strand.
@@ -35,6 +44,29 @@ class Reconstructor:
         """Index-array variant; default converts through strings."""
         strands = [indices_to_bases(r) for r in reads]
         return bases_to_indices(self.reconstruct(strands, length))
+
+    def reconstruct_many(
+        self, clusters: Sequence[Sequence[str]], length: int
+    ) -> List[str]:
+        """Reconstruct every cluster of a unit; one estimate per cluster.
+
+        ``clusters[i]`` is the read list of cluster ``i``; the result keeps
+        cluster order. Batched engines produce output identical to calling
+        :meth:`reconstruct` per cluster — only faster.
+        """
+        index_clusters = [
+            [bases_to_indices(read) for read in reads] for reads in clusters
+        ]
+        return [
+            indices_to_bases(estimate)
+            for estimate in self.reconstruct_many_indices(index_clusters, length)
+        ]
+
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
+        """Index-array batch variant; default loops over the clusters."""
+        return [self.reconstruct_indices(reads, length) for reads in clusters]
 
 
 def majority_vote(

@@ -1,4 +1,4 @@
-"""One-way Bitwise-Majority-Alignment-style reconstruction.
+"""One-way Bitwise-Majority-Alignment-style reconstruction, batched.
 
 This is the left-to-right scan the paper walks through in its Figure 2:
 maintain one pointer per read; at every output position take a plurality
@@ -12,16 +12,22 @@ reliability skew of the paper's Figure 3: positional error grows with the
 distance scanned, so the far end of a strand is reconstructed much less
 reliably than the near end.
 
-The scan is vectorized across reads: all reads live in one padded matrix
-(sentinel -1 past each read's end) and every per-position step — voting,
-lookahead estimation, error classification — is a handful of numpy
-operations over the read axis. The storage pipeline runs this scan for
-every cluster, so it is the hottest loop in the repository.
+The scan here is batched across *clusters* as well as reads: the reads of
+every cluster in a unit live in one padded matrix (sentinel -1 past each
+read's end) tagged with a per-read cluster id, and each per-position step —
+per-cluster voting, lookahead estimation, error classification — is a
+handful of numpy operations over the whole read axis. Per-cluster ballots
+are segmented bincounts over ``cluster_id * n_alphabet + symbol``, so one
+pass over the positions advances all 120+ clusters of an encoding unit at
+once. The storage pipeline runs this scan for every unit, making it the
+hottest loop in the repository; the frozen single-cluster original is
+retained in :mod:`repro.consensus.reference` and pinned byte-identical by
+the differential test suite.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -57,19 +63,33 @@ class OneWayReconstructor(Reconstructor):
     def reconstruct_indices(
         self, reads: Sequence[np.ndarray], length: int
     ) -> np.ndarray:
+        return self.reconstruct_many_indices([reads], length)[0]
+
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
-        reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
-        output = np.full(length, self.fill_symbol, dtype=np.int64)
+        n_clusters = len(clusters)
+        output = np.full((n_clusters, length), self.fill_symbol, dtype=np.int64)
+        reads: List[np.ndarray] = []
+        cluster_ids: List[int] = []
+        for c, cluster in enumerate(clusters):
+            for read in cluster:
+                read = np.asarray(read, dtype=np.int64)
+                if len(read) > 0:
+                    reads.append(read)
+                    cluster_ids.append(c)
         if not reads or length == 0:
-            return output
+            return list(output)
 
         window = self.lookahead
         n_reads = len(reads)
         lengths = np.array([len(r) for r in reads], dtype=np.int64)
-        # One padded matrix: sentinel -1 marks positions past a read's end.
-        # The extra window+2 columns let every lookahead gather stay in
-        # bounds without per-step clipping.
+        cluster_of = np.array(cluster_ids, dtype=np.int64)
+        # One padded matrix over every read of every cluster: sentinel -1
+        # marks positions past a read's end. The extra window+2 columns let
+        # every lookahead gather stay in bounds without per-step clipping.
         padded = np.full((n_reads, int(lengths.max()) + window + 2), -1,
                          dtype=np.int64)
         for i, read in enumerate(reads):
@@ -81,48 +101,79 @@ class OneWayReconstructor(Reconstructor):
         for position in range(length):
             active = pointers < lengths
             if not np.any(active):
-                break  # every read exhausted; the rest stays at fill_symbol
+                break  # every read of every cluster exhausted
             current = padded[rows, pointers]
-            votes = np.bincount(current[active], minlength=self.n_alphabet)
-            consensus = int(np.argmax(votes))
-            output[position] = consensus
+            votes = self._segmented_counts(
+                cluster_of[active], current[active], n_clusters
+            )
+            consensus = np.argmax(votes, axis=1)
+            # Clusters whose reads are all exhausted cast no votes; their
+            # output stays at fill_symbol from here on (the single-cluster
+            # scan breaks out of its loop at this point).
+            voted = votes.sum(axis=1) > 0
+            output[voted, position] = consensus[voted]
 
-            agree = active & (current == consensus)
-            lookahead = self._estimate_lookahead(padded, pointers, agree, offsets)
-            disagree = active & ~agree
+            consensus_per_read = consensus[cluster_of]
+            agree = active & (current == consensus_per_read)
+            lookahead = self._estimate_lookahead(
+                padded, pointers, agree, cluster_of, n_clusters, offsets
+            )
+            disagree_rows = np.flatnonzero(active & ~agree)
             pointers[agree] += 1
-            if np.any(disagree):
-                pointers[disagree] += self._classify_errors(
-                    padded, pointers[disagree], rows[disagree], consensus, lookahead
+            if disagree_rows.size:
+                pointers[disagree_rows] += self._classify_errors(
+                    padded,
+                    pointers[disagree_rows],
+                    disagree_rows,
+                    consensus_per_read[disagree_rows],
+                    lookahead[cluster_of[disagree_rows]],
                 )
-        return output
+        return list(output)
+
+    def _segmented_counts(
+        self, segments: np.ndarray, symbols: np.ndarray, n_segments: int
+    ) -> np.ndarray:
+        """Per-cluster ballot: counts[c, s] = votes for symbol s in cluster c."""
+        flat = np.bincount(
+            segments * self.n_alphabet + symbols,
+            minlength=n_segments * self.n_alphabet,
+        )
+        return flat.reshape(n_segments, self.n_alphabet)
 
     def _estimate_lookahead(
         self,
         padded: np.ndarray,
         pointers: np.ndarray,
         agree: np.ndarray,
+        cluster_of: np.ndarray,
+        n_clusters: int,
         offsets: np.ndarray,
     ) -> np.ndarray:
-        """Majority-vote the next ``window`` characters of the agreeing reads.
+        """Majority-vote the next ``window`` characters per cluster.
 
-        Reads whose current character matches the consensus are presumed
-        synchronized, so their upcoming characters are the best available
-        estimate of the upcoming consensus. Positions with no votes carry
-        the sentinel -1 (they match nothing during scoring).
+        Reads whose current character matches their cluster's consensus are
+        presumed synchronized, so their upcoming characters are the best
+        available estimate of the upcoming consensus. Cluster/offset slots
+        with no votes carry the sentinel -1 (they match nothing during
+        scoring).
         """
-        window = np.full(len(offsets), -1, dtype=np.int64)
-        if not np.any(agree):
+        window = np.full((n_clusters, len(offsets)), -1, dtype=np.int64)
+        agree_rows = np.flatnonzero(agree)
+        if agree_rows.size == 0:
             return window
         # ahead[i, o] = agreeing read i's character at pointer + 1 + o.
-        ahead = padded[np.flatnonzero(agree)[:, None],
-                       pointers[agree][:, None] + offsets[None, :]]
+        ahead = padded[agree_rows[:, None],
+                       pointers[agree_rows][:, None] + offsets[None, :]]
+        clusters = cluster_of[agree_rows]
         for o in range(len(offsets)):
             column = ahead[:, o]
             valid = column >= 0
             if np.any(valid):
-                counts = np.bincount(column[valid], minlength=self.n_alphabet)
-                window[o] = int(np.argmax(counts))
+                counts = self._segmented_counts(
+                    clusters[valid], column[valid], n_clusters
+                )
+                has_votes = counts.sum(axis=1) > 0
+                window[has_votes, o] = np.argmax(counts, axis=1)[has_votes]
         return window
 
     def _classify_errors(
@@ -130,13 +181,14 @@ class OneWayReconstructor(Reconstructor):
         padded: np.ndarray,
         pointers: np.ndarray,
         read_rows: np.ndarray,
-        consensus: int,
+        consensus: np.ndarray,
         lookahead: np.ndarray,
     ) -> np.ndarray:
         """Pointer advances for the disagreeing reads (vectorized).
 
         Three hypotheses are scored by how well the read's characters after
-        the hypothesized correction line up with the estimated lookahead:
+        the hypothesized correction line up with its cluster's estimated
+        lookahead:
 
         * substitution — current character wrong; advance by 1;
         * deletion — the read lost the consensus character, so its current
@@ -145,16 +197,17 @@ class OneWayReconstructor(Reconstructor):
           match the consensus; advance by 2.
 
         Ties resolve substitution > deletion > insertion (strict
-        improvements only), keeping the scan deterministic.
+        improvements only), keeping the scan deterministic. ``consensus``
+        and ``lookahead`` are per-read here (each read carries its own
+        cluster's values).
         """
-        window = len(lookahead)
         valid_la = lookahead >= 0
-        gather = np.arange(window)
+        gather = np.arange(lookahead.shape[1])
 
         def score(start_offset: int) -> np.ndarray:
             chars = padded[read_rows[:, None],
                            pointers[:, None] + start_offset + gather[None, :]]
-            return ((chars == lookahead[None, :]) & valid_la[None, :]).sum(axis=1)
+            return ((chars == lookahead) & valid_la).sum(axis=1)
 
         substitution = score(1)
         deletion = score(0)

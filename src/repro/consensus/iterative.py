@@ -56,6 +56,27 @@ class IterativeReconstructor(Reconstructor):
     ) -> np.ndarray:
         reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
         estimate = self._seed.reconstruct_indices(reads, length)
+        return self._refine(reads, length, estimate)
+
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
+        """Batch variant: all two-way seeds in one batched scan, then the
+        per-cluster alignment refinement (the refinement is read-local, so
+        only the seed benefits from cross-cluster batching)."""
+        normalized = [
+            [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
+            for reads in clusters
+        ]
+        seeds = self._seed.reconstruct_many_indices(normalized, length)
+        return [
+            self._refine(reads, length, seed)
+            for reads, seed in zip(normalized, seeds)
+        ]
+
+    def _refine(
+        self, reads: List[np.ndarray], length: int, estimate: np.ndarray
+    ) -> np.ndarray:
         if not reads or length == 0:
             return estimate
         for _ in range(self.max_iterations):

@@ -75,8 +75,35 @@ class OptimalMedianReconstructor(Reconstructor):
         result = self.search(reads, length)
         return result.candidates[0]
 
-    def search(self, reads: Sequence[np.ndarray], length: int) -> MedianResult:
-        """Run the exact search and return cost plus all tied optima."""
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
+        """Batch variant: the heuristic bound seeds for every cluster come
+        from one batched two-way scan; the branch-and-bound searches
+        themselves remain per-cluster (they share no state)."""
+        seeds = TwoWayReconstructor(
+            n_alphabet=self.n_alphabet
+        ).reconstruct_many_indices(clusters, length)
+        return [
+            self.search(reads, length, seed=seed).candidates[0]
+            for reads, seed in zip(clusters, seeds)
+        ]
+
+    def search(
+        self,
+        reads: Sequence[np.ndarray],
+        length: int,
+        seed: Optional[np.ndarray] = None,
+    ) -> MedianResult:
+        """Run the exact search and return cost plus all tied optima.
+
+        Args:
+            reads: the cluster's reads as index arrays.
+            length: the constrained output length L.
+            seed: optional heuristic solution used only to initialize the
+                pruning bound (a precomputed two-way estimate); computed
+                internally when omitted.
+        """
         reads = [np.asarray(r, dtype=np.int64) for r in reads]
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
@@ -86,7 +113,9 @@ class OptimalMedianReconstructor(Reconstructor):
                 candidates=[np.zeros(length, dtype=np.int64)],
                 truncated=False,
             )
-        search = _BranchAndBound(reads, length, self.n_alphabet, self.max_candidates)
+        search = _BranchAndBound(
+            reads, length, self.n_alphabet, self.max_candidates, seed=seed
+        )
         return search.run()
 
     def reconstruct_adversarial(
@@ -130,6 +159,7 @@ class _BranchAndBound:
         length: int,
         n_alphabet: int,
         max_candidates: int,
+        seed: Optional[np.ndarray] = None,
     ) -> None:
         self.reads = reads
         self.length = length
@@ -141,9 +171,10 @@ class _BranchAndBound:
         self.truncated = False
         self._prefix = np.zeros(length, dtype=np.int64)
         # Seed the bound with a good heuristic solution so pruning starts hot.
-        seed = TwoWayReconstructor(n_alphabet=n_alphabet).reconstruct_indices(
-            reads, length
-        )
+        if seed is None:
+            seed = TwoWayReconstructor(n_alphabet=n_alphabet).reconstruct_indices(
+                reads, length
+            )
         self.best_cost = int(sum(self._edit_distance(seed, r) for r in reads))
 
     def run(self) -> MedianResult:

@@ -24,7 +24,7 @@ bases are handled without underflow.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.signal import lfilter
@@ -93,13 +93,42 @@ class PosteriorReconstructor(Reconstructor):
         confidence — what confidence-assisted decoding consumes."""
         return self._run(reads, length)
 
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
+        return [e for e, _ in self.reconstruct_many_with_confidence(
+            clusters, length)]
+
+    def reconstruct_many_with_confidence(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batch variant: the two-way seeds for every cluster come from one
+        batched scan; the lattice refinement itself is per-cluster (each
+        forward/backward pass is already whole-array over one read)."""
+        normalized = [
+            [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
+            for reads in clusters
+        ]
+        seeds = self._seed.reconstruct_many_indices(normalized, length)
+        return [
+            self._run(reads, length, initial=seed)
+            for reads, seed in zip(normalized, seeds)
+        ]
+
     # -- internals --------------------------------------------------------------
 
     def _run(
-        self, reads: Sequence[np.ndarray], length: int
+        self,
+        reads: Sequence[np.ndarray],
+        length: int,
+        initial: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
-        estimate = self._seed.reconstruct_indices(reads, length)
+        estimate = (
+            initial
+            if initial is not None
+            else self._seed.reconstruct_indices(reads, length)
+        )
         confidence = np.ones(length, dtype=np.float64)
         if not reads or length == 0:
             return estimate, confidence

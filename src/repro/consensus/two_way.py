@@ -6,11 +6,15 @@ on the reversed reads reconstructs the strand right-to-left, so its
 reconstructor therefore keeps the first half of the forward scan and the
 second half of the backward scan — "the best of both worlds" — which moves
 the error peak from the far end (Fig 3) to the middle (Fig 4).
+
+Both directions ride the batched one-way engine: a whole unit's clusters
+are reconstructed with two batched scans (one forward, one over the
+reversed reads) instead of two scans per cluster.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -39,8 +43,20 @@ class TwoWayReconstructor(Reconstructor):
     def reconstruct_indices(
         self, reads: Sequence[np.ndarray], length: int
     ) -> np.ndarray:
-        forward = self._one_way.reconstruct_indices(reads, length)
-        reversed_reads = [np.asarray(r)[::-1] for r in reads]
-        backward = self._one_way.reconstruct_indices(reversed_reads, length)[::-1]
+        return self.reconstruct_many_indices([reads], length)[0]
+
+    def reconstruct_many_indices(
+        self, clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[np.ndarray]:
+        forward = self._one_way.reconstruct_many_indices(clusters, length)
+        reversed_clusters = [
+            [np.asarray(read)[::-1] for read in reads] for reads in clusters
+        ]
+        backward = self._one_way.reconstruct_many_indices(
+            reversed_clusters, length
+        )
         midpoint = length // 2
-        return np.concatenate([forward[:midpoint], backward[midpoint:]])
+        return [
+            np.concatenate([fwd[:midpoint], bwd[::-1][midpoint:]])
+            for fwd, bwd in zip(forward, backward)
+        ]

@@ -27,7 +27,7 @@ from repro.consensus.two_way import TwoWayReconstructor
 from repro.core.layout import LayoutPolicy, MatrixConfig, build_layout
 from repro.core.ranking import identity_ranking
 from repro.ecc.reed_solomon import DecodeFailure, ReedSolomon
-from repro.utils.bitio import pack_uint, unpack_uint
+from repro.utils.bitio import pack_uint
 
 
 @dataclass(frozen=True)
@@ -211,6 +211,11 @@ class DnaStoragePipeline:
     ) -> ReceivedUnit:
         """Consensus + column assembly; no error correction yet.
 
+        All surviving clusters are decoded through the reconstructor's
+        *batch* entry point in one call, so engines that advance every
+        cluster simultaneously (the default two-way scan) reconstruct the
+        whole unit in a couple of vectorized passes.
+
         Args:
             clusters: read clusters (one per molecule, any order).
             confidence_threshold: when set *and* the reconstructor exposes
@@ -233,24 +238,29 @@ class DnaStoragePipeline:
             confidence_threshold is not None
             and hasattr(self.reconstructor, "reconstruct_with_confidence")
         )
-        for cluster in clusters:
-            if cluster.is_lost:
-                continue
-            confidence = None
-            if use_confidence:
-                from repro.codec.basemap import bases_to_indices, indices_to_bases
-                reads = [bases_to_indices(r) for r in cluster.reads]
-                estimate, confidence = (
+        live = [cluster for cluster in clusters if not cluster.is_lost]
+        index_clusters = [cluster.read_indices() for cluster in live]
+        if use_confidence:
+            if hasattr(self.reconstructor, "reconstruct_many_with_confidence"):
+                results = self.reconstructor.reconstruct_many_with_confidence(
+                    index_clusters, config.strand_length
+                )
+            else:
+                results = [
                     self.reconstructor.reconstruct_with_confidence(
                         reads, config.strand_length
                     )
-                )
-                strand = indices_to_bases(estimate)
-            else:
-                strand = self.reconstructor.reconstruct(
-                    cluster.reads, config.strand_length
-                )
-            column, symbols = self._parse_strand(strand)
+                    for reads in index_clusters
+                ]
+            estimates = [estimate for estimate, _ in results]
+            confidences = [confidence for _, confidence in results]
+        else:
+            estimates = self.reconstructor.reconstruct_many_indices(
+                index_clusters, config.strand_length
+            )
+            confidences = [None] * len(live)
+        for estimate, confidence in zip(estimates, confidences):
+            column, symbols = self._parse_indices(estimate)
             if column is None:
                 invalid += 1
                 continue
@@ -287,21 +297,26 @@ class DnaStoragePipeline:
         )
         return [int(r) for r in np.nonzero(per_row.min(axis=1) < threshold)[0]]
 
-    def _parse_strand(self, strand: str) -> Tuple[Optional[int], np.ndarray]:
+    def _parse_indices(
+        self, indices: np.ndarray
+    ) -> Tuple[Optional[int], np.ndarray]:
+        """Split a consensus strand (as base indices) into column + symbols.
+
+        Vectorized counterpart of decoding the strand to bits and unpacking
+        ``m``-bit groups: each base carries two bits, so ``m // 2``
+        consecutive bases form one matrix symbol.
+        """
         config = self.matrix_config
-        bits = self._codec.decode(strand)
-        index = unpack_uint(bits[: config.m])
+        indices = np.asarray(indices, dtype=np.int64)
+        bases_per_symbol = config.m // 2
+        # Base-4 big-endian digits -> integers, one symbol per group.
+        weights = 4 ** np.arange(bases_per_symbol - 1, -1, -1, dtype=np.int64)
+        grouped = indices.reshape(-1, bases_per_symbol)
+        values = grouped @ weights
+        index = int(values[0])
         if index >= config.n_columns:
             return None, np.zeros(0, dtype=np.int64)
-        payload_bits = bits[config.m:]
-        symbols = np.array(
-            [
-                unpack_uint(payload_bits[i * config.m: (i + 1) * config.m])
-                for i in range(config.payload_rows)
-            ],
-            dtype=np.int64,
-        )
-        return index, symbols
+        return index, values[1:]
 
     def correct_matrix(
         self,

@@ -23,13 +23,17 @@ class TestMinCoverage:
         )
         assert result == 1.0
 
+    @pytest.mark.slow
     def test_noisier_channel_needs_more_coverage(self):
+        # Smallest sweep that still separates the two rates: the 10% channel
+        # needs well under 13 reads on this geometry, so the grid is not
+        # saturated and the ordering is structural, not statistical.
         pipeline = DnaStoragePipeline(PipelineConfig(matrix=SMALL))
         low = min_coverage_for_error_free(
-            pipeline, 0.03, coverages=range(1, 16), trials=2, rng=1,
+            pipeline, 0.03, coverages=range(1, 13), trials=2, rng=1,
         )
         high = min_coverage_for_error_free(
-            pipeline, 0.10, coverages=range(1, 16), trials=2, rng=1,
+            pipeline, 0.10, coverages=range(1, 13), trials=2, rng=1,
         )
         assert high > low
 
@@ -49,11 +53,12 @@ class TestMinCoverage:
 
 
 class TestMinCoverageVsRedundancy:
+    @pytest.mark.slow
     def test_less_redundancy_never_cheaper(self):
         results = min_coverage_vs_redundancy(
             SMALL, layout="gini", error_rate=0.06,
             effective_nsym_values=[10, 4],
-            coverages=range(1, 20), trials=2, rng=3,
+            coverages=range(1, 16), trials=2, rng=3,
         )
         full = dict(results)[10]
         reduced = dict(results)[4]

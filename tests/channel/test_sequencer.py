@@ -23,6 +23,31 @@ class TestReadCluster:
     def test_lost(self):
         assert ReadCluster(source_index=3).is_lost
 
+    def test_read_indices(self):
+        cluster = ReadCluster(source_index=0, reads=["ACG", "T"])
+        indices = cluster.read_indices()
+        assert len(indices) == 2
+        np.testing.assert_array_equal(indices[0], [0, 1, 2])
+        np.testing.assert_array_equal(indices[1], [3])
+
+    def test_padded_matrix(self):
+        cluster = ReadCluster(source_index=0, reads=["ACG", "T", "ACGTA"])
+        matrix, lengths = cluster.padded_matrix(pad=2)
+        assert matrix.shape == (3, 7)
+        np.testing.assert_array_equal(lengths, [3, 1, 5])
+        np.testing.assert_array_equal(matrix[1], [3, -1, -1, -1, -1, -1, -1])
+        np.testing.assert_array_equal(matrix[2, :5], [0, 1, 2, 3, 0])
+        assert (matrix[2, 5:] == -1).all()
+
+    def test_padded_matrix_lost_cluster(self):
+        matrix, lengths = ReadCluster(source_index=1).padded_matrix()
+        assert matrix.shape == (0, 0)
+        assert lengths.shape == (0,)
+
+    def test_padded_matrix_rejects_negative_pad(self):
+        with pytest.raises(ValueError):
+            ReadCluster(source_index=0, reads=["ACG"]).padded_matrix(pad=-1)
+
 
 class TestSequencingSimulator:
     def test_one_cluster_per_strand(self, rng):

@@ -1,0 +1,140 @@
+"""Differential tests: batched engine vs frozen reference implementations.
+
+The production reconstructors advance every read of every cluster
+simultaneously (:mod:`repro.consensus.bma`); the originals they replaced
+are frozen in :mod:`repro.consensus.reference`. These tests assert the two
+produce *byte-identical* output — per cluster, across whole batched units,
+and under degenerate inputs — so any future optimization of the hot path
+is checked by construction against an implementation that never changes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import ErrorModel
+from repro.consensus import (
+    IterativeReconstructor,
+    OneWayReconstructor,
+    ReferenceIterativeReconstructor,
+    ReferenceOneWayReconstructor,
+    ReferenceTwoWayReconstructor,
+    TwoWayReconstructor,
+)
+
+PAIRS = [
+    (OneWayReconstructor, ReferenceOneWayReconstructor),
+    (TwoWayReconstructor, ReferenceTwoWayReconstructor),
+    (IterativeReconstructor, ReferenceIterativeReconstructor),
+]
+PAIR_IDS = ["one_way", "two_way", "iterative"]
+
+
+def random_unit(seed, n_clusters, length, rate, max_coverage, n_alphabet=4):
+    """A batch of clusters with randomized coverage (including dropouts)."""
+    rng = np.random.default_rng(seed)
+    model = ErrorModel.uniform(rate)
+    clusters = []
+    for _ in range(n_clusters):
+        original = rng.integers(0, n_alphabet, length).astype(np.uint8)
+        coverage = int(rng.integers(0, max_coverage + 1))
+        clusters.append([
+            model.apply_indices(original, rng, n_alphabet=n_alphabet)
+            for _ in range(coverage)
+        ])
+    return clusters
+
+
+def assert_batch_matches_reference(fast, slow, clusters, length):
+    batched = fast.reconstruct_many_indices(clusters, length)
+    assert len(batched) == len(clusters)
+    for reads, estimate in zip(clusters, batched):
+        expected = slow.reconstruct_indices(reads, length)
+        np.testing.assert_array_equal(estimate, expected)
+        assert estimate.shape == (length,)
+
+
+@pytest.mark.parametrize("fast_cls,ref_cls", PAIRS, ids=PAIR_IDS)
+class TestBatchedMatchesReference:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        n_clusters=st.integers(1, 8),
+        length=st.integers(1, 40),
+        rate=st.floats(0.0, 0.25),
+        max_coverage=st.integers(1, 6),
+    )
+    def test_randomized_units(self, fast_cls, ref_cls, seed, n_clusters,
+                              length, rate, max_coverage):
+        clusters = random_unit(seed, n_clusters, length, rate, max_coverage)
+        assert_batch_matches_reference(fast_cls(), ref_cls(), clusters, length)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_binary_alphabet(self, fast_cls, ref_cls, seed):
+        clusters = random_unit(seed, 5, 24, 0.2, 4, n_alphabet=2)
+        assert_batch_matches_reference(
+            fast_cls(n_alphabet=2), ref_cls(n_alphabet=2), clusters, 24
+        )
+
+    def test_scalar_entry_point_matches_reference(self, fast_cls, ref_cls):
+        clusters = random_unit(99, 6, 30, 0.15, 5)
+        fast, slow = fast_cls(), ref_cls()
+        for reads in clusters:
+            np.testing.assert_array_equal(
+                fast.reconstruct_indices(reads, 30),
+                slow.reconstruct_indices(reads, 30),
+            )
+
+    def test_empty_batch(self, fast_cls, ref_cls):
+        assert fast_cls().reconstruct_many_indices([], 10) == []
+
+    def test_empty_and_singleton_clusters(self, fast_cls, ref_cls):
+        clusters = [
+            [],  # dropout: no reads at all
+            [np.array([2], dtype=np.int64)],  # singleton read
+            [np.zeros(0, dtype=np.int64)],  # one zero-length read
+            [np.array([0, 1, 2, 3] * 5, dtype=np.int64)] * 3,
+        ]
+        assert_batch_matches_reference(fast_cls(), ref_cls(), clusters, 12)
+
+    def test_wildly_uneven_read_lengths(self, fast_cls, ref_cls):
+        rng = np.random.default_rng(3)
+        clusters = [
+            [rng.integers(0, 4, n).astype(np.int64)
+             for n in (1, 2, 40, 80, 3, 77)],
+            [rng.integers(0, 4, 200).astype(np.int64)],
+        ]
+        assert_batch_matches_reference(fast_cls(), ref_cls(), clusters, 60)
+
+    def test_zero_length_output(self, fast_cls, ref_cls):
+        clusters = random_unit(5, 3, 10, 0.1, 3)
+        for estimate in fast_cls().reconstruct_many_indices(clusters, 0):
+            assert estimate.shape == (0,)
+
+
+class TestOneWayParameterVariants:
+    """Non-default lookahead / fill_symbol must match the reference too."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**9), lookahead=st.integers(1, 6),
+           fill=st.integers(0, 3))
+    def test_lookahead_and_fill(self, seed, lookahead, fill):
+        clusters = random_unit(seed, 4, 25, 0.2, 3)
+        fast = OneWayReconstructor(lookahead=lookahead, fill_symbol=fill)
+        slow = ReferenceOneWayReconstructor(lookahead=lookahead, fill_symbol=fill)
+        assert_batch_matches_reference(fast, slow, clusters, 25)
+
+    def test_string_batch_api(self):
+        """reconstruct_many (string variant) agrees with the reference."""
+        rng = np.random.default_rng(11)
+        model = ErrorModel.uniform(0.1)
+        strands = ["".join("ACGT"[i] for i in rng.integers(0, 4, 30))
+                   for _ in range(5)]
+        clusters = [model.apply_many(s, 4, rng) for s in strands]
+        fast = TwoWayReconstructor()
+        slow = ReferenceTwoWayReconstructor()
+        batched = fast.reconstruct_many(clusters, 30)
+        for reads, estimate in zip(clusters, batched):
+            assert estimate == slow.reconstruct(reads, 30)

@@ -71,6 +71,7 @@ class TestReceiveWithConfidence:
 
 
 class TestSoftErasureCorrection:
+    @pytest.mark.slow
     def test_never_worse_than_plain(self, rng):
         """The fallback guarantees soft erasures cannot lose codewords."""
         model = ErrorModel.uniform(0.10)

@@ -30,6 +30,7 @@ def _received_matrix(pipeline, unit, error_rate, coverage, rng):
     return pipeline.receive(pool.clusters_at(coverage))
 
 
+@pytest.mark.slow
 class TestFigure11Property:
     """Gini flattens the per-codeword error distribution."""
 
@@ -66,19 +67,29 @@ class TestFigure11Property:
         assert 0.6 < gini_counts.sum() / max(base_counts.sum(), 1) < 1.4
 
 
+@pytest.mark.slow
 class TestFigure12Property:
-    """Gini needs less coverage than the baseline for error-free decode."""
+    """Gini needs less coverage than the baseline for error-free decode.
+
+    The sweep is the smallest shape that still exercises the search: two
+    trials over a grid wide enough that both layouts find an error-free
+    coverage below the top of the grid (the full-scale sweep is
+    ``benchmarks/test_fig12_min_coverage.py``).
+    """
 
     def test_gini_reduces_min_coverage(self):
-        coverages = range(2, 22)
+        coverages = range(2, 18)
         base = min_coverage_for_error_free(
             DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="baseline")),
-            error_rate=0.09, coverages=coverages, trials=3, rng=11,
+            error_rate=0.09, coverages=coverages, trials=2, rng=11,
         )
         gini = min_coverage_for_error_free(
             DnaStoragePipeline(PipelineConfig(matrix=MATRIX, layout="gini")),
-            error_rate=0.09, coverages=coverages, trials=3, rng=11,
+            error_rate=0.09, coverages=coverages, trials=2, rng=11,
         )
+        # Both searches must actually succeed on the grid (max+1 marks
+        # failure), otherwise the comparison is vacuous.
+        assert base <= coverages[-1]
         assert gini <= base
 
 

@@ -14,6 +14,8 @@ import pytest
 from repro.channel import ErrorModel, FixedCoverage, ReadCluster, SequencingSimulator
 from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
 
+pytestmark = pytest.mark.paperscale
+
 
 @pytest.fixture(scope="module")
 def paper_matrix():
