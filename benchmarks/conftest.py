@@ -3,14 +3,47 @@
 Every benchmark regenerates one figure of the paper at reduced scale (see
 DESIGN.md's substitution table) and prints the series the paper plots, so
 the run log doubles as the reproduction record in EXPERIMENTS.md.
+
+Besides the printed tables, every run leaves machine-readable evidence in
+``benchmarks/out/``:
+
+* ``BENCH_<slug>.json`` — the x values and series of each printed table
+  (written by :func:`print_series`);
+* ``BENCH_timings.json`` — wall-clock seconds per benchmark test,
+  merge-updated across runs so partial reruns refresh only their rows.
+
+The artifacts are committed deliberately: like EXPERIMENTS.md, they are
+the reproduction record (and the perf evidence PRs point at), so series
+and timing changes show up in review diffs.
 """
+
+import hashlib
+import json
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def _slugify(title):
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    if len(slug) > 60:
+        # Keep long titles collision-free: two titles sharing a 60-char
+        # prefix must not overwrite each other's evidence file.
+        digest = hashlib.md5(slug.encode("ascii")).hexdigest()[:8]
+        slug = f"{slug[:60].rstrip('_')}_{digest}"
+    return slug
+
 
 def print_series(title, xs, series):
-    """Print an aligned table: one x column plus one column per series."""
+    """Print an aligned table: one x column plus one column per series.
+
+    Also dumps the table to ``benchmarks/out/BENCH_<slug>.json`` so runs
+    can be diffed and plotted without scraping the log.
+    """
     print(f"\n=== {title} ===")
     names = list(series)
     header = "x".ljust(10) + "".join(name.rjust(16) for name in names)
@@ -21,6 +54,42 @@ def print_series(title, xs, series):
             value = series[name][i]
             row += (f"{value:.4f}" if isinstance(value, float) else str(value)).rjust(16)
         print(row)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "title": title,
+        "x": [x if isinstance(x, (int, float, str)) else str(x) for x in xs],
+        "series": {
+            name: [float(v) if isinstance(v, (int, float)) else str(v)
+                   for v in values]
+            for name, values in series.items()
+        },
+    }
+    path = OUT_DIR / f"BENCH_{_slugify(title)}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _merge_timing(test_id, seconds):
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "BENCH_timings.json"
+    try:
+        timings = json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        timings = {}
+    timings[test_id] = round(seconds, 3)
+    path.write_text(json.dumps(timings, indent=2, sort_keys=True) + "\n")
+
+
+def pytest_runtest_logreport(report):
+    """Record each benchmark's call-phase wall clock as JSON.
+
+    The hook fires for every test in the session, so it filters to this
+    directory's tests — a combined ``pytest benchmarks tests`` run must
+    not leak unit-test timings into the benchmark record.
+    """
+    if (report.when == "call" and report.passed
+            and report.nodeid.startswith("benchmarks/")):
+        _merge_timing(report.nodeid, report.duration)
 
 
 @pytest.fixture

@@ -53,8 +53,17 @@ def test_fig06_optimal_median_skew(benchmark):
     def edges(profile):
         return np.concatenate([profile[:3], profile[-3:]]).mean()
 
-    # Skew persists at every coverage, despite the adversarial tie-break.
+    # Skew persists wherever the channel produces any errors at this
+    # reduced scale, despite the adversarial tie-break. At deep coverage
+    # (N >= 8) the optimal median can come out error-free across all 40
+    # trials (the peak keeps shrinking with N); an all-zero profile is
+    # consistent with the claim — an *opposite* skew never is.
     for coverage in COVERAGES:
-        assert middle(profiles[coverage]) > edges(profiles[coverage]), coverage
+        if profiles[coverage].any():
+            assert middle(profiles[coverage]) > edges(profiles[coverage]), coverage
+        else:
+            assert coverage >= 8, (
+                f"unexpected error-free profile at coverage {coverage}"
+            )
     # More reads lower the peak but do not change the shape.
     assert middle(profiles[16]) < middle(profiles[2])

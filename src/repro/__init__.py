@@ -28,28 +28,40 @@ Quick start::
                                              dtype=np.uint8)
     unit = pipeline.encode(bits)
     simulator = SequencingSimulator(ErrorModel.uniform(0.06), FixedCoverage(10))
-    clusters = simulator.sequence(unit.strands, rng=0)
-    decoded, report = pipeline.decode(clusters, bits.size)
+    batch = simulator.sequence_batch(unit.strands, rng=0)   # columnar reads
+    decoded, report = pipeline.decode(batch, bits.size)
     assert report.clean and np.array_equal(decoded, bits)
 
-``pipeline.decode`` reconstructs all 120 clusters through the consensus
-engine's *batched* entry point — one vectorized scan advances every read
-of every cluster simultaneously — so a unit this size decodes in tens of
-milliseconds. The same batch API is available directly::
+``sequence_batch`` runs the whole IDS channel as *one* vectorized pass
+(:class:`~repro.channel.BatchedChannelEngine`): a single RNG draw covers
+every base of every read, and the result is a columnar
+:class:`~repro.channel.ReadBatch` — flat base buffer plus per-read
+offsets — that ``pipeline.decode`` consumes without ever materializing a
+DNA string. ``simulator.sequence(...)`` still returns familiar
+``ReadCluster`` objects (zero-copy views whose ``.reads`` strings decode
+lazily), and both forms decode identically. The batched consensus API is
+also available directly, columnar or list-shaped::
 
     from repro import TwoWayReconstructor
 
-    strands = TwoWayReconstructor().reconstruct_many(
-        [cluster.reads for cluster in clusters if not cluster.is_lost],
-        config.matrix.strand_length,
-    )  # one estimate per cluster, identical to reconstructing one-by-one
+    estimates = TwoWayReconstructor().reconstruct_batch(
+        batch.drop_lost(), config.matrix.strand_length,
+    )  # (n_clusters, L) array, identical to reconstructing one-by-one
+
+Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
+``ReadBatch`` and serves zero-copy coverage prefixes, and
+:class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
+per-position error rates for reliability-skew scenarios.
 """
 
 from repro.channel import (
+    BatchedChannelEngine,
     CoverageModel,
     ErrorModel,
+    ErrorRateMap,
     FixedCoverage,
     GammaCoverage,
+    ReadBatch,
     ReadCluster,
     ReadPool,
     SequencingSimulator,
@@ -96,9 +108,12 @@ __all__ = [
     "__version__",
     # channel
     "ErrorModel",
+    "ErrorRateMap",
     "CoverageModel",
     "FixedCoverage",
     "GammaCoverage",
+    "BatchedChannelEngine",
+    "ReadBatch",
     "ReadCluster",
     "ReadPool",
     "SequencingSimulator",

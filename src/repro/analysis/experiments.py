@@ -13,7 +13,10 @@ Every retrieval in these harnesses goes through
 :meth:`repro.core.pipeline.DnaStoragePipeline.receive`, which decodes all
 of a unit's clusters in one batched consensus call — the coverage sweeps
 here run hundreds of unit decodes, so they are only tractable because of
-that batch path.
+that batch path. The read side is columnar too: one
+:class:`~repro.channel.sequencer.ReadPool` (a single batched-engine call)
+covers all trials of a sweep, and decodes consume zero-copy
+:class:`~repro.channel.readbatch.ReadBatch` slices of it.
 """
 
 from __future__ import annotations
@@ -63,10 +66,13 @@ def min_coverage_for_error_free(
 ) -> float:
     """Average (over trials) minimum coverage for an exact decode.
 
-    For each trial, a fresh random payload is encoded, a read pool at the
-    largest requested coverage is generated, and coverage is scanned
-    upward (nested read sets) until the decode is bit-exact. Trials where
-    even the largest coverage fails contribute ``max(coverages) + 1``.
+    For each trial, a fresh random payload is encoded; *one* read pool
+    covering every trial's strands at the largest requested coverage is
+    generated in a single batched-engine call, and each trial's coverage
+    is scanned upward (nested read sets) until the decode is bit-exact.
+    Decodes consume columnar sub-batches of the pool — no strings, no
+    per-read Python objects anywhere in the sweep. Trials where even the
+    largest coverage fails contribute ``max(coverages) + 1``.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -75,20 +81,27 @@ def min_coverage_for_error_free(
         raise ValueError("coverages must be non-empty")
     generator = ensure_rng(rng)
     model = ErrorModel.uniform(error_rate)
-    minima = []
+    n_columns = pipeline.matrix_config.n_columns
+    trial_bits: List[np.ndarray] = []
+    all_strands: List[str] = []
     for _ in range(trials):
         if payload_bits is None:
             bits = generator.integers(0, 2, pipeline.capacity_bits).astype(np.uint8)
         else:
             bits = np.asarray(payload_bits, dtype=np.uint8)
-        unit = pipeline.encode(bits)
-        pool = ReadPool(unit.strands, model, max_coverage=coverages[-1],
-                        rng=generator)
+        trial_bits.append(bits)
+        all_strands.extend(pipeline.encode(bits).strands)
+    pool = ReadPool(all_strands, model, max_coverage=coverages[-1],
+                    rng=generator)
+    minima = []
+    for t, bits in enumerate(trial_bits):
         found = coverages[-1] + 1
         for coverage in coverages:
-            clusters = pool.clusters_at(coverage)
+            batch = pool.batch_at(
+                coverage, first_cluster=t * n_columns, n_clusters=n_columns
+            )
             decoded, report = pipeline.decode(
-                clusters, bits.size,
+                batch, bits.size,
                 extra_erasure_columns=extra_erasure_columns,
             )
             if report.clean and np.array_equal(decoded, bits):

@@ -4,15 +4,42 @@ Runs a reconstructor over many randomly generated clusters and records,
 for every position of the strand, how often the reconstructed symbol
 differs from the original. The resulting per-position error-probability
 curve is the paper's "reliability skew".
+
+All trials of a profile run through the columnar read plane as a single
+batch: one :class:`~repro.channel.engine.BatchedChannelEngine` call emits
+every read of every trial (one RNG draw over the whole sweep), and one
+``reconstruct_batch`` call scans them — thousands of trials cost a
+handful of vectorized passes rather than ``trials x coverage`` Python
+iterations.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.channel.engine import BatchedChannelEngine
 from repro.channel.errors import ErrorModel
 from repro.consensus.base import Reconstructor
 from repro.utils.rng import RngLike, ensure_rng
+
+
+def _simulate_trials(
+    error_model: ErrorModel,
+    length: int,
+    coverage: int,
+    trials: int,
+    generator: np.random.Generator,
+    n_alphabet: int,
+):
+    """Random originals + their noisy clusters, one engine call for all."""
+    originals = generator.integers(
+        0, n_alphabet, size=(trials, length)
+    ).astype(np.uint8)
+    engine = BatchedChannelEngine(error_model, n_alphabet=n_alphabet)
+    batch = engine.sequence_counts(
+        originals, np.full(trials, coverage, dtype=np.int64), generator
+    )
+    return originals, batch
 
 
 def positional_error_profile(
@@ -43,19 +70,11 @@ def positional_error_profile(
     if coverage < 1:
         raise ValueError(f"coverage must be >= 1, got {coverage}")
     generator = ensure_rng(rng)
-    # Generate every trial's cluster first (same RNG call order as the old
-    # per-trial loop), then reconstruct all trials in one batched call.
-    originals = np.empty((trials, length), dtype=np.int64)
-    clusters = []
-    for t in range(trials):
-        original = generator.integers(0, n_alphabet, size=length).astype(np.uint8)
-        originals[t] = original
-        clusters.append([
-            error_model.apply_indices(original, generator, n_alphabet=n_alphabet)
-            for _ in range(coverage)
-        ])
-    estimates = reconstructor.reconstruct_many_indices(clusters, length)
-    errors = (np.stack(estimates) != originals).sum(axis=0, dtype=np.float64)
+    originals, batch = _simulate_trials(
+        error_model, length, coverage, trials, generator, n_alphabet
+    )
+    estimates = reconstructor.reconstruct_batch(batch, length)
+    errors = (estimates != originals).sum(axis=0, dtype=np.float64)
     return errors / trials
 
 
@@ -80,22 +99,19 @@ def positional_error_profile_binary(
     if coverage < 1:
         raise ValueError(f"coverage must be >= 1, got {coverage}")
     generator = ensure_rng(rng)
-    originals = np.empty((trials, length), dtype=np.int64)
-    clusters = []
-    for t in range(trials):
-        original = generator.integers(0, 2, size=length).astype(np.uint8)
-        originals[t] = original
-        clusters.append([
-            error_model.apply_indices(original, generator, n_alphabet=2)
-            for _ in range(coverage)
-        ])
+    originals, batch = _simulate_trials(
+        error_model, length, coverage, trials, generator, n_alphabet=2
+    )
     if adversarial:
         # Adversarial selection needs the original per trial; stays scalar.
-        estimates = [
-            reconstructor.reconstruct_adversarial(reads, length, original)
-            for reads, original in zip(clusters, originals)
-        ]
+        estimates = np.stack([
+            reconstructor.reconstruct_adversarial(
+                [np.asarray(r, dtype=np.int64) for r in batch.reads_of(t)],
+                length, originals[t],
+            )
+            for t in range(trials)
+        ])
     else:
-        estimates = reconstructor.reconstruct_many_indices(clusters, length)
-    errors = (np.stack(estimates) != originals).sum(axis=0, dtype=np.float64)
+        estimates = reconstructor.reconstruct_batch(batch, length)
+    errors = (estimates != originals).sum(axis=0, dtype=np.float64)
     return errors / trials

@@ -18,6 +18,7 @@ indel-only and substitution-only lines use custom breakdowns, which
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -141,8 +142,16 @@ class ErrorModel:
             )
         return out
 
-    def apply_many(self, strand: str, n_copies: int, rng: RngLike = None) -> list:
-        """Generate ``n_copies`` independent noisy copies of one strand."""
+    def apply_many(
+        self, strand: str, n_copies: int, rng: RngLike = None
+    ) -> List[str]:
+        """Generate ``n_copies`` independent noisy copies of one strand.
+
+        This is the per-read *reference* path (one RNG draw per copy); the
+        batched engine in :mod:`repro.channel.engine` emits whole batches
+        in one pass and is pinned to :meth:`apply_indices` by the
+        differential suite.
+        """
         generator = ensure_rng(rng)
         indices = bases_to_indices(strand)
         return [

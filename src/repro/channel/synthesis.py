@@ -13,18 +13,27 @@ The paper's Section 8 distinguishes the two physical error sources:
 
 :class:`SynthesisSimulator` applies a per-molecule error model once, and
 :class:`TwoStageSequencer` composes it with the ordinary per-read
-sequencing channel. The ablation benchmark shows the consequence: raising
-coverage drives sequencing-induced failures to zero but leaves a
-synthesis-induced floor that only redundancy can cross.
+sequencing channel. Both ride the batched channel engine: the synthesis
+stage mutates every molecule in one vectorized IDS pass, and the two-stage
+sequencer is a façade over a :class:`~repro.channel.engine.
+BatchedChannelEngine` configured with both models. The ablation benchmark
+shows the consequence: raising coverage drives sequencing-induced failures
+to zero but leaves a synthesis-induced floor that only redundancy can
+cross.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
+
+import numpy as np
 
 from repro.channel.coverage import CoverageModel, FixedCoverage
+from repro.channel.engine import BatchedChannelEngine, as_template_set, batched_ids_pass
 from repro.channel.errors import ErrorModel
-from repro.channel.sequencer import ReadCluster, SequencingSimulator
+from repro.channel.readbatch import ReadBatch
+from repro.channel.sequencer import ReadCluster
+from repro.codec.basemap import indices_to_bases
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -40,10 +49,27 @@ class SynthesisSimulator:
     def __init__(self, error_model: ErrorModel) -> None:
         self.error_model = error_model
 
-    def synthesize(self, strands: Sequence[str], rng: RngLike = None) -> List[str]:
-        """Return the physically synthesized (possibly mutated) molecules."""
+    def synthesize(
+        self, strands: Sequence[str], rng: RngLike = None
+    ) -> List[str]:
+        """Return the physically synthesized (possibly mutated) molecules.
+
+        All molecules are mutated in one batched IDS pass (one read per
+        strand); strings in, strings out — this is a write-side edge, not
+        the decode hot path.
+        """
         generator = ensure_rng(rng)
-        return [self.error_model.apply(strand, generator) for strand in strands]
+        buffer, offsets, lengths = as_template_set(strands)
+        out, out_lengths = batched_ids_pass(
+            buffer, offsets, lengths,
+            np.arange(lengths.size, dtype=np.int64),
+            self.error_model, generator,
+        )
+        starts = np.cumsum(out_lengths) - out_lengths
+        return [
+            indices_to_bases(out[start: start + length])
+            for start, length in zip(starts, out_lengths)
+        ]
 
 
 class TwoStageSequencer:
@@ -61,11 +87,31 @@ class TwoStageSequencer:
         sequencing_model: ErrorModel,
         coverage_model: CoverageModel = FixedCoverage(10),
     ) -> None:
-        self.synthesis = SynthesisSimulator(synthesis_model)
-        self.sequencer = SequencingSimulator(sequencing_model, coverage_model)
+        self.synthesis_model = synthesis_model
+        self.sequencing_model = sequencing_model
+        self.coverage_model = coverage_model
 
-    def sequence(self, strands: Sequence[str], rng: RngLike = None) -> List[ReadCluster]:
+    def sequence_batch(
+        self,
+        strands: Union[Sequence[str], Sequence[np.ndarray], np.ndarray],
+        rng: RngLike = None,
+    ) -> ReadBatch:
+        """Synthesize every strand once, then sequence, all columnar.
+
+        The engine is built per call, so reassigning any of the three
+        model attributes between calls is honored.
+        """
+        engine = BatchedChannelEngine(
+            sequencing_model=self.sequencing_model,
+            coverage_model=self.coverage_model,
+            synthesis_model=self.synthesis_model,
+        )
+        return engine.sequence(strands, rng)
+
+    def sequence(
+        self,
+        strands: Union[Sequence[str], Sequence[np.ndarray], np.ndarray],
+        rng: RngLike = None,
+    ) -> List[ReadCluster]:
         """Synthesize every strand once, then sequence the molecules."""
-        generator = ensure_rng(rng)
-        molecules = self.synthesis.synthesize(strands, generator)
-        return self.sequencer.sequence(molecules, generator)
+        return self.sequence_batch(strands, rng).to_clusters()

@@ -29,12 +29,15 @@ def bases_to_indices(strand: str) -> np.ndarray:
     return indices.astype(np.uint8)
 
 
+_INDEX_TO_ASCII = np.frombuffer(BASES.encode("ascii"), dtype=np.uint8)
+
+
 def indices_to_bases(indices: np.ndarray) -> str:
     """Convert an index array back to an ACGT string."""
     indices = np.asarray(indices)
     if indices.size and (indices.min() < 0 or indices.max() > 3):
         raise ValueError("base indices must be in [0, 3]")
-    return "".join(BASES[int(i)] for i in indices)
+    return _INDEX_TO_ASCII[indices.astype(np.int64)].tobytes().decode("ascii")
 
 
 def random_bases(length: int, rng: RngLike = None) -> str:

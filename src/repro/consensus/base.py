@@ -68,6 +68,26 @@ class Reconstructor:
         """Index-array batch variant; default loops over the clusters."""
         return [self.reconstruct_indices(reads, length) for reads in clusters]
 
+    def reconstruct_batch(self, batch, length: int) -> np.ndarray:
+        """Columnar batch variant: estimates for a whole
+        :class:`~repro.channel.readbatch.ReadBatch` as one
+        ``(n_clusters, length)`` array.
+
+        This is the string-free decode hot path: the batch's flat buffer
+        feeds the engine directly. The default unpacks the batch into
+        per-cluster index lists (zero-copy views); the pointer-scan
+        engines override it to consume the batch's padded matrix whole.
+        Lost clusters receive the engine's degenerate (fill) estimate —
+        callers that must not see them drop them first
+        (:meth:`~repro.channel.readbatch.ReadBatch.drop_lost`).
+        """
+        estimates = self.reconstruct_many_indices(
+            batch.clusters_as_indices(), length
+        )
+        if not estimates:
+            return np.zeros((0, length), dtype=np.int64)
+        return np.stack([np.asarray(e, dtype=np.int64) for e in estimates])
+
 
 def majority_vote(
     symbols: Sequence[int],

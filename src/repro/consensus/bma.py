@@ -71,7 +71,6 @@ class OneWayReconstructor(Reconstructor):
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         n_clusters = len(clusters)
-        output = np.full((n_clusters, length), self.fill_symbol, dtype=np.int64)
         reads: List[np.ndarray] = []
         cluster_ids: List[int] = []
         for c, cluster in enumerate(clusters):
@@ -81,7 +80,8 @@ class OneWayReconstructor(Reconstructor):
                     reads.append(read)
                     cluster_ids.append(c)
         if not reads or length == 0:
-            return list(output)
+            return list(np.full((n_clusters, length), self.fill_symbol,
+                                dtype=np.int64))
 
         window = self.lookahead
         n_reads = len(reads)
@@ -94,6 +94,42 @@ class OneWayReconstructor(Reconstructor):
                          dtype=np.int64)
         for i, read in enumerate(reads):
             padded[i, : len(read)] = read
+        return list(self.scan_padded(padded, lengths, cluster_of,
+                                     n_clusters, length))
+
+    def reconstruct_batch(self, batch, length: int) -> np.ndarray:
+        """Columnar entry point: scan a whole
+        :class:`~repro.channel.readbatch.ReadBatch` without touching
+        per-read Python objects. The batch's flat buffer becomes the
+        padded read matrix via one vectorized gather; empty reads are
+        harmless (they are never active)."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if batch.n_reads == 0 or length == 0:
+            return np.full((batch.n_clusters, length), self.fill_symbol,
+                           dtype=np.int64)
+        padded, lengths = batch.padded_matrix(pad=self.lookahead + 2)
+        return self.scan_padded(padded, lengths, batch.cluster_ids,
+                                batch.n_clusters, length)
+
+    def scan_padded(
+        self,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        cluster_of: np.ndarray,
+        n_clusters: int,
+        length: int,
+    ) -> np.ndarray:
+        """The batched scan over an already-padded read matrix.
+
+        ``padded`` must be int64 with sentinel -1 and at least
+        ``lookahead + 2`` sentinel columns past the longest read; rows are
+        reads, tagged by ``cluster_of``. Returns ``(n_clusters, length)``.
+        """
+        output = np.full((n_clusters, length), self.fill_symbol,
+                         dtype=np.int64)
+        window = self.lookahead
+        n_reads = padded.shape[0]
         pointers = np.zeros(n_reads, dtype=np.int64)
         rows = np.arange(n_reads)
         offsets = np.arange(1, window + 1)
@@ -128,7 +164,7 @@ class OneWayReconstructor(Reconstructor):
                     consensus_per_read[disagree_rows],
                     lookahead[cluster_of[disagree_rows]],
                 )
-        return list(output)
+        return output
 
     def _segmented_counts(
         self, segments: np.ndarray, symbols: np.ndarray, n_segments: int

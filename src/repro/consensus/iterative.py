@@ -74,6 +74,19 @@ class IterativeReconstructor(Reconstructor):
             for reads, seed in zip(normalized, seeds)
         ]
 
+    def reconstruct_batch(self, batch, length: int) -> np.ndarray:
+        """Columnar variant: the two-way seeds come straight off the
+        batch's flat buffer; the read-local refinement then works on
+        zero-copy per-read views."""
+        seeds = self._seed.reconstruct_batch(batch, length)
+        return np.stack([
+            self._refine(
+                [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0],
+                length, seed,
+            )
+            for reads, seed in zip(batch.clusters_as_indices(), seeds)
+        ]) if batch.n_clusters else np.zeros((0, length), dtype=np.int64)
+
     def _refine(
         self, reads: List[np.ndarray], length: int, estimate: np.ndarray
     ) -> np.ndarray:

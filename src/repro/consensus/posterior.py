@@ -115,6 +115,27 @@ class PosteriorReconstructor(Reconstructor):
             for reads, seed in zip(normalized, seeds)
         ]
 
+    def reconstruct_batch(self, batch, length: int) -> np.ndarray:
+        results = self.reconstruct_batch_with_confidence(batch, length)
+        if not results:
+            return np.zeros((0, length), dtype=np.int64)
+        return np.stack([estimate for estimate, _ in results])
+
+    def reconstruct_batch_with_confidence(
+        self, batch, length: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Columnar variant of :meth:`reconstruct_many_with_confidence`:
+        the two-way seeds come from one scan over the batch's buffer, and
+        the lattice refinement reads zero-copy per-read views."""
+        seeds = self._seed.reconstruct_batch(batch, length)
+        return [
+            self._run(
+                [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0],
+                length, initial=np.asarray(seed, dtype=np.int64),
+            )
+            for reads, seed in zip(batch.clusters_as_indices(), seeds)
+        ]
+
     # -- internals --------------------------------------------------------------
 
     def _run(

@@ -16,10 +16,11 @@ codeword.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadCluster
 from repro.codec.basemap import DirectCodec
 from repro.consensus.base import Reconstructor
@@ -206,7 +207,7 @@ class DnaStoragePipeline:
 
     def receive(
         self,
-        clusters: Sequence[ReadCluster],
+        clusters: Union[Sequence[ReadCluster], ReadBatch],
         confidence_threshold: Optional[float] = None,
     ) -> ReceivedUnit:
         """Consensus + column assembly; no error correction yet.
@@ -214,10 +215,17 @@ class DnaStoragePipeline:
         All surviving clusters are decoded through the reconstructor's
         *batch* entry point in one call, so engines that advance every
         cluster simultaneously (the default two-way scan) reconstruct the
-        whole unit in a couple of vectorized passes.
+        whole unit in a couple of vectorized passes. A columnar
+        :class:`~repro.channel.readbatch.ReadBatch` (what
+        ``SequencingSimulator.sequence_batch`` emits) is consumed whole —
+        flat base buffer straight into the consensus scan; a plain cluster
+        list goes through per-cluster index arrays. Neither path ever
+        materializes a base string.
 
         Args:
-            clusters: read clusters (one per molecule, any order).
+            clusters: read clusters (one per molecule, any order), or one
+                :class:`~repro.channel.readbatch.ReadBatch` covering the
+                unit.
             confidence_threshold: when set *and* the reconstructor exposes
                 ``reconstruct_with_confidence`` (see
                 :class:`repro.consensus.posterior.PosteriorReconstructor`),
@@ -238,27 +246,9 @@ class DnaStoragePipeline:
             confidence_threshold is not None
             and hasattr(self.reconstructor, "reconstruct_with_confidence")
         )
-        live = [cluster for cluster in clusters if not cluster.is_lost]
-        index_clusters = [cluster.read_indices() for cluster in live]
-        if use_confidence:
-            if hasattr(self.reconstructor, "reconstruct_many_with_confidence"):
-                results = self.reconstructor.reconstruct_many_with_confidence(
-                    index_clusters, config.strand_length
-                )
-            else:
-                results = [
-                    self.reconstructor.reconstruct_with_confidence(
-                        reads, config.strand_length
-                    )
-                    for reads in index_clusters
-                ]
-            estimates = [estimate for estimate, _ in results]
-            confidences = [confidence for _, confidence in results]
-        else:
-            estimates = self.reconstructor.reconstruct_many_indices(
-                index_clusters, config.strand_length
-            )
-            confidences = [None] * len(live)
+        estimates, confidences = self._reconstruct_unit(
+            clusters, use_confidence
+        )
         for estimate, confidence in zip(estimates, confidences):
             column, symbols = self._parse_indices(estimate)
             if column is None:
@@ -284,6 +274,58 @@ class DnaStoragePipeline:
             invalid_strands=invalid,
             cell_erasures=cell_erasures,
         )
+
+    def _reconstruct_unit(
+        self,
+        clusters: Union[Sequence[ReadCluster], ReadBatch],
+        use_confidence: bool,
+    ) -> Tuple[Sequence[np.ndarray], Sequence[Optional[np.ndarray]]]:
+        """Run the unit's surviving clusters through the reconstructor.
+
+        Lost clusters (strand dropouts) are excluded before consensus —
+        their degenerate estimates would otherwise claim column 0.
+        """
+        length = self.matrix_config.strand_length
+        if isinstance(clusters, ReadBatch):
+            live_batch = clusters.drop_lost()
+            if use_confidence:
+                if hasattr(self.reconstructor,
+                           "reconstruct_batch_with_confidence"):
+                    results = self.reconstructor.reconstruct_batch_with_confidence(
+                        live_batch, length
+                    )
+                else:
+                    results = self._confidence_ladder(
+                        live_batch.clusters_as_indices(), length
+                    )
+                return ([e for e, _ in results], [c for _, c in results])
+            estimates = self.reconstructor.reconstruct_batch(
+                live_batch, length
+            )
+            return estimates, [None] * len(estimates)
+        live = [cluster for cluster in clusters if not cluster.is_lost]
+        index_clusters = [cluster.read_indices() for cluster in live]
+        if use_confidence:
+            results = self._confidence_ladder(index_clusters, length)
+            return ([e for e, _ in results], [c for _, c in results])
+        estimates = self.reconstructor.reconstruct_many_indices(
+            index_clusters, length
+        )
+        return estimates, [None] * len(live)
+
+    def _confidence_ladder(
+        self, index_clusters: Sequence[Sequence[np.ndarray]], length: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Confidence reconstruction over index lists: the batched variant
+        when the reconstructor has one, per-cluster calls otherwise."""
+        if hasattr(self.reconstructor, "reconstruct_many_with_confidence"):
+            return self.reconstructor.reconstruct_many_with_confidence(
+                index_clusters, length
+            )
+        return [
+            self.reconstructor.reconstruct_with_confidence(reads, length)
+            for reads in index_clusters
+        ]
 
     def _low_confidence_rows(
         self, confidence: np.ndarray, threshold: float
@@ -410,7 +452,7 @@ class DnaStoragePipeline:
 
     def decode(
         self,
-        clusters: Sequence[ReadCluster],
+        clusters: Union[Sequence[ReadCluster], ReadBatch],
         n_data_bits: int,
         ranking: Optional[np.ndarray] = None,
         extra_erasure_columns: Sequence[int] = (),

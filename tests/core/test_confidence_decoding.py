@@ -103,3 +103,34 @@ class TestSoftErasureCorrection:
         )
         decoded, report = pipeline.correct(received, bits.size)
         assert decoded.shape == (bits.size,)
+
+
+class TestMinimalConfidenceReconstructor:
+    def test_batch_input_falls_back_to_per_cluster_confidence(self, rng):
+        """A reconstructor exposing only the scalar
+        ``reconstruct_with_confidence`` must work on ReadBatch input: the
+        batch confidence path has the same per-cluster fallback as the
+        cluster-list path."""
+
+        class MinimalConfidence(TwoWayReconstructor):
+            def reconstruct_with_confidence(self, reads, length):
+                estimate = self.reconstruct_indices(reads, length)
+                return estimate, np.ones(length, dtype=np.float64)
+
+        model = ErrorModel.uniform(0.05)
+        pipeline = DnaStoragePipeline(
+            PipelineConfig(matrix=MATRIX),
+            reconstructor=MinimalConfidence(),
+        )
+        bits = rng.integers(0, 2, pipeline.capacity_bits).astype(np.uint8)
+        unit = pipeline.encode(bits)
+        simulator = SequencingSimulator(model, FixedCoverage(8))
+        batch = simulator.sequence_batch(unit.strands, rng)
+        received = pipeline.receive(batch, confidence_threshold=0.5)
+        from_list = pipeline.receive(
+            simulator.sequence(unit.strands, rng=0),
+            confidence_threshold=0.5,
+        )
+        assert received.matrix.shape == from_list.matrix.shape
+        decoded, report = pipeline.correct(received, bits.size)
+        np.testing.assert_array_equal(decoded, bits)

@@ -1,0 +1,85 @@
+"""The decode hot path must never materialize a DNA string.
+
+``pipeline.receive`` fed a columnar :class:`ReadBatch` (and the batched
+consensus underneath it) has to run entirely on index arrays. These tests
+poison the base-string converters in every module that imports them and
+then drive the hot path — any string round-trip raises immediately.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel, GammaCoverage, SequencingSimulator
+from repro.consensus import PosteriorReconstructor, TwoWayReconstructor
+from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+
+MATRIX = MatrixConfig(m=8, n_columns=40, nsym=8, payload_rows=8)
+
+
+def _poison_string_codecs(monkeypatch):
+    """Make every imported reference to the string codecs explode."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - should never run
+        raise AssertionError("base-string materialized on the decode hot path")
+
+    for name, module in list(sys.modules.items()):
+        if not name.startswith("repro"):
+            continue
+        for attr in ("bases_to_indices", "indices_to_bases"):
+            if hasattr(module, attr):
+                monkeypatch.setattr(module, attr, boom)
+
+
+@pytest.fixture
+def unit_and_batch():
+    pipeline = DnaStoragePipeline(PipelineConfig(matrix=MATRIX))
+    rng = np.random.default_rng(9)
+    bits = rng.integers(0, 2, pipeline.capacity_bits).astype(np.uint8)
+    unit = pipeline.encode(bits)
+    simulator = SequencingSimulator(
+        ErrorModel.uniform(0.05), GammaCoverage(8, shape=4)
+    )
+    batch = simulator.sequence_batch(unit.strands, rng=4)
+    return pipeline, bits, batch
+
+
+class TestNoStringsOnHotPath:
+    def test_receive_and_decode_from_batch(self, monkeypatch, unit_and_batch):
+        pipeline, bits, batch = unit_and_batch
+        _poison_string_codecs(monkeypatch)
+        decoded, report = pipeline.decode(batch, bits.size)
+        assert report.clean
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_consensus_batch_entry_point(self, monkeypatch, unit_and_batch):
+        _, _, batch = unit_and_batch
+        _poison_string_codecs(monkeypatch)
+        estimates = TwoWayReconstructor().reconstruct_batch(
+            batch.drop_lost(), MATRIX.strand_length
+        )
+        assert estimates.shape[1] == MATRIX.strand_length
+
+    def test_confidence_receive_from_batch(self, monkeypatch, unit_and_batch):
+        pipeline, _, batch = unit_and_batch
+        pipeline = DnaStoragePipeline(
+            PipelineConfig(matrix=MATRIX),
+            reconstructor=PosteriorReconstructor(ErrorModel.uniform(0.05)),
+        )
+        _poison_string_codecs(monkeypatch)
+        received = pipeline.receive(batch, confidence_threshold=0.6)
+        assert received.matrix.shape == (MATRIX.payload_rows, MATRIX.n_columns)
+
+    def test_channel_engine_itself(self, monkeypatch):
+        """Array templates in, batch out — no strings even at generation."""
+        rng = np.random.default_rng(1)
+        templates = rng.integers(0, 4, size=(20, 50)).astype(np.uint8)
+        _poison_string_codecs(monkeypatch)
+        from repro.channel import BatchedChannelEngine, FixedCoverage
+
+        engine = BatchedChannelEngine(
+            ErrorModel.uniform(0.08), FixedCoverage(6)
+        )
+        batch = engine.sequence(templates, rng)
+        assert batch.n_reads == 120

@@ -1,11 +1,15 @@
-"""Wall-clock budget for the consensus hot path.
+"""Wall-clock budgets for the consensus and channel hot paths.
 
 The batched consensus engine decodes the quickstart-sized unit in well
 under 100 ms; the pure-Python per-read scan it replaced took seconds. This
 test pins a *generous* ceiling over one encode -> sequence -> decode
 roundtrip so the hot path can never silently regress to per-cluster
 Python-loop speeds — a 2 s budget is ~20x headroom for the vectorized
-engine but far below what any scalar implementation can reach.
+engine but far below what any scalar implementation can reach. The same
+logic applies to the channel stage: the batched engine emits the
+quickstart unit's reads in a few milliseconds, so a 0.5 s ceiling (and a
+5x lead over the per-read reference) can only fail if the vectorized pass
+regresses to per-copy Python loops.
 """
 
 import time
@@ -17,6 +21,9 @@ from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
 
 #: Seconds allowed for one small-unit decode (receive + RS correction).
 DECODE_BUDGET_SECONDS = 2.0
+
+#: Seconds allowed for the channel stage of one quickstart-sized unit.
+CHANNEL_BUDGET_SECONDS = 0.5
 
 
 class TestPerfBudget:
@@ -68,4 +75,39 @@ class TestPerfBudget:
         assert batched < scalar, (
             f"batched scan ({batched:.3f}s) no faster than the per-cluster "
             f"reference ({scalar:.3f}s)"
+        )
+
+    def test_channel_stage_within_budget_and_beats_per_read_path(self):
+        """The quickstart-config channel stage must stay vectorized: one
+        batched engine call both fits an absolute budget and leads the
+        per-read ``apply_many`` reference by at least 5x (measured ~12x
+        on the development machine)."""
+        from repro.codec.basemap import random_bases
+
+        rng = np.random.default_rng(3)
+        strands = [random_bases(68, rng) for _ in range(120)]
+        model = ErrorModel.uniform(0.06)
+        simulator = SequencingSimulator(model, FixedCoverage(10))
+        simulator.sequence_batch(strands, rng=0)  # warm-up
+
+        start = time.perf_counter()
+        rounds = 5
+        for _ in range(rounds):
+            batch = simulator.sequence_batch(strands, rng=1)
+        batched = (time.perf_counter() - start) / rounds
+        assert batch.n_reads == 1200
+
+        reference_rng = np.random.default_rng(1)
+        start = time.perf_counter()
+        for strand in strands:
+            model.apply_many(strand, 10, reference_rng)
+        per_read = time.perf_counter() - start
+
+        assert batched < CHANNEL_BUDGET_SECONDS, (
+            f"channel stage took {batched:.3f}s; the batched engine has "
+            f"regressed past the {CHANNEL_BUDGET_SECONDS:.1f}s budget"
+        )
+        assert batched * 5 < per_read, (
+            f"batched channel ({batched * 1e3:.1f}ms) is not 5x faster "
+            f"than the per-read path ({per_read * 1e3:.1f}ms)"
         )
