@@ -56,11 +56,23 @@ def print_series(title, xs, series):
         print(row)
 
     OUT_DIR.mkdir(exist_ok=True)
+
+    def jsonify_x(value):
+        # numpy scalars are not JSON types but must not stringify either:
+        # the evidence keeps numeric axes numeric so the trend gate and
+        # plotting can compare them as numbers.
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if isinstance(value, (float, np.floating)):
+            return float(value)
+        return str(value)
+
     payload = {
         "title": title,
-        "x": [x if isinstance(x, (int, float, str)) else str(x) for x in xs],
+        "x": [jsonify_x(x) for x in xs],
         "series": {
-            name: [float(v) if isinstance(v, (int, float)) else str(v)
+            name: [float(v) if isinstance(v, (int, float, np.integer,
+                                              np.floating)) else str(v)
                    for v in values]
             for name, values in series.items()
         },

@@ -48,10 +48,21 @@ also available directly, columnar or list-shaped::
         batch.drop_lost(), config.matrix.strand_length,
     )  # (n_clusters, L) array, identical to reconstructing one-by-one
 
+The refinement layers are batched through the same entry points:
+``IterativeReconstructor().reconstruct_batch(...)`` sweeps the unit-cost
+edit DP over every read of every cluster at once (realign-and-vote with
+per-cluster fixed-point dropout), and
+``PosteriorReconstructor().reconstruct_batch_with_confidence(...)``
+runs the IDS-lattice forward-backward as one ``(reads, positions)``
+recursion, returning per-position posterior confidence alongside each
+estimate — both pinned against their frozen per-cluster references by
+the differential suite.
+
 Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
 ``ReadBatch`` and serves zero-copy coverage prefixes, and
 :class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
-per-position error rates for reliability-skew scenarios.
+per-position error rates for reliability-skew scenarios
+(:func:`repro.analysis.positional_confidence_profile` measures them).
 """
 
 from repro.channel import (

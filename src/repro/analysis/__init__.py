@@ -3,6 +3,7 @@ experiment harnesses behind every figure of the paper's evaluation.
 """
 
 from repro.analysis.skew import (
+    positional_confidence_profile,
     positional_error_profile,
     positional_error_profile_binary,
 )
@@ -19,6 +20,7 @@ from repro.analysis.experiments import (
 )
 
 __all__ = [
+    "positional_confidence_profile",
     "positional_error_profile",
     "positional_error_profile_binary",
     "gini_coefficient",

@@ -10,21 +10,27 @@ batch: one :class:`~repro.channel.engine.BatchedChannelEngine` call emits
 every read of every trial (one RNG draw over the whole sweep), and one
 ``reconstruct_batch`` call scans them — thousands of trials cost a
 handful of vectorized passes rather than ``trials x coverage`` Python
-iterations.
+iterations. Every profile accepts an
+:class:`~repro.channel.engine.ErrorRateMap` in place of the uniform
+model, opening positional-degradation scenarios (ramped rates along the
+strand) to the same batched measurement;
+:func:`positional_confidence_profile` pairs the realized error curve
+with the posterior's per-position confidence for those studies.
 """
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
-from repro.channel.engine import BatchedChannelEngine
-from repro.channel.errors import ErrorModel
+from repro.channel.engine import BatchedChannelEngine, RateSpec
 from repro.consensus.base import Reconstructor
 from repro.utils.rng import RngLike, ensure_rng
 
 
 def _simulate_trials(
-    error_model: ErrorModel,
+    error_model: RateSpec,
     length: int,
     coverage: int,
     trials: int,
@@ -45,7 +51,7 @@ def _simulate_trials(
 def positional_error_profile(
     reconstructor: Reconstructor,
     length: int,
-    error_model: ErrorModel,
+    error_model: RateSpec,
     coverage: int,
     trials: int,
     rng: RngLike = None,
@@ -56,7 +62,8 @@ def positional_error_profile(
     Args:
         reconstructor: algorithm under test (must handle ``n_alphabet``).
         length: strand length L.
-        error_model: channel noise per read.
+        error_model: channel noise per read — a uniform ``ErrorModel`` or
+            a positional ``ErrorRateMap`` for skew scenarios.
         coverage: reads per cluster N.
         trials: number of independent clusters.
         rng: random source.
@@ -78,10 +85,59 @@ def positional_error_profile(
     return errors / trials
 
 
+def positional_confidence_profile(
+    reconstructor,
+    length: int,
+    error_model: RateSpec,
+    coverage: int,
+    trials: int,
+    rng: RngLike = None,
+    n_alphabet: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Realized error curve paired with the posterior confidence curve.
+
+    The measurement behind positional-degradation studies: simulate
+    ``trials`` clusters under ``error_model`` (typically an
+    :class:`~repro.channel.engine.ErrorRateMap` ramp), reconstruct them
+    through the batched confidence entry point, and report, per position,
+    both how often the estimate is wrong and how much posterior mass the
+    winning symbol carried. Where the realized error peaks, the
+    confidence dips — alignment ambiguity *is* the reliability skew.
+
+    Args:
+        reconstructor: must expose ``reconstruct_batch_with_confidence``
+            (see :class:`repro.consensus.posterior.PosteriorReconstructor`).
+        length: strand length L.
+        error_model: uniform ``ErrorModel`` or positional ``ErrorRateMap``.
+        coverage: reads per cluster N.
+        trials: number of independent clusters.
+        rng: random source.
+        n_alphabet: alphabet size of the generated strands.
+
+    Returns:
+        ``(error_profile, confidence_profile)``, each of shape
+        ``(length,)`` — mean error frequency and mean winning posterior
+        mass per position.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if coverage < 1:
+        raise ValueError(f"coverage must be >= 1, got {coverage}")
+    generator = ensure_rng(rng)
+    originals, batch = _simulate_trials(
+        error_model, length, coverage, trials, generator, n_alphabet
+    )
+    results = reconstructor.reconstruct_batch_with_confidence(batch, length)
+    estimates = np.stack([estimate for estimate, _ in results])
+    confidences = np.stack([confidence for _, confidence in results])
+    errors = (estimates != originals).mean(axis=0, dtype=np.float64)
+    return errors, confidences.mean(axis=0)
+
+
 def positional_error_profile_binary(
     reconstructor: Reconstructor,
     length: int,
-    error_model: ErrorModel,
+    error_model: RateSpec,
     coverage: int,
     trials: int,
     rng: RngLike = None,

@@ -19,15 +19,20 @@ Algorithms provided:
   constrained edit-distance median via branch and bound, with the paper's
   adversarial tie-breaking (Fig 6).
 
-The production pointer scans are *batched*: every reconstructor accepts a
-whole unit's clusters through ``reconstruct_many`` /
-``reconstruct_many_indices`` and the one-way/two-way engines advance all
-clusters simultaneously. The frozen single-cluster originals live in
-:mod:`repro.consensus.reference` (``Reference*Reconstructor``) and are
-pinned byte-identical to the batched engine by the differential tests.
+The production engines are *batched end to end*: every reconstructor
+accepts a whole unit's clusters through ``reconstruct_many`` /
+``reconstruct_many_indices`` (or a columnar ``ReadBatch`` through
+``reconstruct_batch``), the one-way/two-way scans advance all clusters
+simultaneously, and the refinement layers (iterative realign-and-vote,
+posterior lattice) sweep all reads of all clusters as one padded stack
+with per-cluster fixed-point dropout. The frozen single-cluster originals
+live in :mod:`repro.consensus.reference` (``Reference*Reconstructor``)
+and are pinned against the batched engines by the differential tests —
+byte-identical for the integer-domain scans and the iterative refinement,
+and to float round-off for the posterior's soft confidences.
 """
 
-from repro.consensus.base import Reconstructor, majority_vote
+from repro.consensus.base import Reconstructor, majority_vote, pack_index_clusters
 from repro.consensus.bma import OneWayReconstructor
 from repro.consensus.iterative import IterativeReconstructor
 from repro.consensus.median import OptimalMedianReconstructor
@@ -35,6 +40,7 @@ from repro.consensus.posterior import PosteriorReconstructor
 from repro.consensus.reference import (
     ReferenceIterativeReconstructor,
     ReferenceOneWayReconstructor,
+    ReferencePosteriorReconstructor,
     ReferenceTwoWayReconstructor,
 )
 from repro.consensus.two_way import TwoWayReconstructor
@@ -42,6 +48,7 @@ from repro.consensus.two_way import TwoWayReconstructor
 __all__ = [
     "Reconstructor",
     "majority_vote",
+    "pack_index_clusters",
     "OneWayReconstructor",
     "TwoWayReconstructor",
     "IterativeReconstructor",
@@ -50,4 +57,5 @@ __all__ = [
     "ReferenceOneWayReconstructor",
     "ReferenceTwoWayReconstructor",
     "ReferenceIterativeReconstructor",
+    "ReferencePosteriorReconstructor",
 ]

@@ -89,6 +89,41 @@ class Reconstructor:
         return np.stack([np.asarray(e, dtype=np.int64) for e in estimates])
 
 
+def pack_index_clusters(
+    clusters: Sequence[Sequence[np.ndarray]],
+    pad: int = 0,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Pack per-cluster index lists into one padded read stack.
+
+    The shared on-ramp of the batched engines (the pointer scans in
+    :mod:`repro.consensus.bma`, the refinement layers in
+    :mod:`repro.consensus.iterative` / :mod:`repro.consensus.posterior`):
+    all non-empty reads of all clusters as one ``(n_reads, max_len + pad)``
+    ``int64`` matrix with sentinel ``-1`` past each read's end, plus
+    per-read lengths and (non-decreasing) cluster ids. ``pad`` appends
+    extra sentinel columns (the scans use them for bounds-free lookahead
+    gathers). Empty reads are dropped — they can neither vote nor shift
+    a distance comparison.
+    """
+    reads: List[np.ndarray] = []
+    cluster_ids: List[int] = []
+    for c, cluster in enumerate(clusters):
+        for read in cluster:
+            read = np.asarray(read, dtype=np.int64)
+            if read.size:
+                reads.append(read)
+                cluster_ids.append(c)
+    if not reads:
+        return (np.zeros((0, 0), dtype=np.int64),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    lengths = np.array([r.size for r in reads], dtype=np.int64)
+    padded = np.full((len(reads), int(lengths.max()) + pad), -1,
+                     dtype=np.int64)
+    for i, read in enumerate(reads):
+        padded[i, : read.size] = read
+    return padded, lengths, np.array(cluster_ids, dtype=np.int64)
+
+
 def majority_vote(
     symbols: Sequence[int],
     n_alphabet: int = 4,

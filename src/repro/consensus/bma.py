@@ -32,7 +32,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.codec.basemap import bases_to_indices, indices_to_bases
-from repro.consensus.base import Reconstructor
+from repro.consensus.base import Reconstructor, pack_index_clusters
 
 
 class OneWayReconstructor(Reconstructor):
@@ -71,29 +71,15 @@ class OneWayReconstructor(Reconstructor):
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
         n_clusters = len(clusters)
-        reads: List[np.ndarray] = []
-        cluster_ids: List[int] = []
-        for c, cluster in enumerate(clusters):
-            for read in cluster:
-                read = np.asarray(read, dtype=np.int64)
-                if len(read) > 0:
-                    reads.append(read)
-                    cluster_ids.append(c)
-        if not reads or length == 0:
-            return list(np.full((n_clusters, length), self.fill_symbol,
-                                dtype=np.int64))
-
-        window = self.lookahead
-        n_reads = len(reads)
-        lengths = np.array([len(r) for r in reads], dtype=np.int64)
-        cluster_of = np.array(cluster_ids, dtype=np.int64)
         # One padded matrix over every read of every cluster: sentinel -1
         # marks positions past a read's end. The extra window+2 columns let
         # every lookahead gather stay in bounds without per-step clipping.
-        padded = np.full((n_reads, int(lengths.max()) + window + 2), -1,
-                         dtype=np.int64)
-        for i, read in enumerate(reads):
-            padded[i, : len(read)] = read
+        padded, lengths, cluster_of = pack_index_clusters(
+            clusters, pad=self.lookahead + 2
+        )
+        if lengths.size == 0 or length == 0:
+            return list(np.full((n_clusters, length), self.fill_symbol,
+                                dtype=np.int64))
         return list(self.scan_padded(padded, lengths, cluster_of,
                                      n_clusters, length))
 

@@ -1,4 +1,4 @@
-"""Symbolwise posterior reconstruction over the IDS edit lattice.
+"""Symbolwise posterior reconstruction over the IDS edit lattice, batched.
 
 A probabilistic counterpart of the heuristic scans: each read is aligned
 against the current estimate by a forward-backward pass over the
@@ -20,6 +20,25 @@ copies. The forward/backward recursions run in the probability domain
 with per-row renormalization (the within-row insertion chain is a linear
 recurrence solved by ``scipy.signal.lfilter``), so strands of hundreds of
 bases are handled without underflow.
+
+The lattice is *batched*: the recursions run over a ``(reads,
+positions)`` stack — every read of every cluster advances one lattice row
+per step, the insertion-chain ``lfilter`` vectorizing over the leading
+read axis — and posterior votes are accumulated per cluster with
+segmented reductions, clusters dropping out of the active set at their
+fixed point. Reads of different lengths share the stack via sentinel
+padding; padded columns are masked to exact zeros after every row, so
+they never leak probability mass into real columns. The frozen per-read
+original lives in :mod:`repro.consensus.reference`
+(``ReferencePosteriorReconstructor``); the differential suite pins the
+batched estimates byte-identical to it (confidences agree to float
+round-off — the batched reductions sum the same terms in a different
+association order). One deliberate exception: when a read is *impossible*
+under the channel model (e.g. longer than the estimate with
+``p_insertion=0``), the reference's log-space rescaling turns the
+all-zero lattice into NaN votes; the batched probability-domain path
+keeps such a read's votes at exact zero and stays finite, which the
+suite pins as the defined behavior.
 """
 
 from __future__ import annotations
@@ -31,7 +50,7 @@ from scipy.signal import lfilter
 
 from repro.channel.errors import ErrorModel
 from repro.codec.basemap import bases_to_indices, indices_to_bases
-from repro.consensus.base import Reconstructor
+from repro.consensus.base import Reconstructor, pack_index_clusters
 from repro.consensus.two_way import TwoWayReconstructor
 
 _TINY = 1e-300
@@ -47,6 +66,12 @@ class PosteriorReconstructor(Reconstructor):
         max_iterations: re-voting rounds.
         n_alphabet: alphabet size.
     """
+
+    #: Ceiling on the bytes of lattice state (forward/backward stacks,
+    #: emission and edge matrices) materialized at once; larger read
+    #: stacks are processed in chunks. Chunking preserves the per-cluster
+    #: read accumulation order, so results do not depend on it.
+    lattice_budget_bytes = 256 * 2 ** 20
 
     def __init__(
         self,
@@ -72,8 +97,7 @@ class PosteriorReconstructor(Reconstructor):
     def reconstruct_indices(
         self, reads: Sequence[np.ndarray], length: int
     ) -> np.ndarray:
-        estimate, _ = self._run(reads, length)
-        return estimate
+        return self.reconstruct_many_indices([reads], length)[0]
 
     def positional_confidence(
         self, reads: Sequence[np.ndarray], length: int
@@ -83,7 +107,7 @@ class PosteriorReconstructor(Reconstructor):
         Low confidence marks positions where alignment ambiguity leaves
         the vote split — the positional signature of the reliability skew.
         """
-        _, confidence = self._run(reads, length)
+        _, confidence = self.reconstruct_with_confidence(reads, length)
         return confidence
 
     def reconstruct_with_confidence(
@@ -91,7 +115,7 @@ class PosteriorReconstructor(Reconstructor):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One pass returning both the estimate and its per-position
         confidence — what confidence-assisted decoding consumes."""
-        return self._run(reads, length)
+        return self.reconstruct_many_with_confidence([reads], length)[0]
 
     def reconstruct_many_indices(
         self, clusters: Sequence[Sequence[np.ndarray]], length: int
@@ -102,150 +126,269 @@ class PosteriorReconstructor(Reconstructor):
     def reconstruct_many_with_confidence(
         self, clusters: Sequence[Sequence[np.ndarray]], length: int
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Batch variant: the two-way seeds for every cluster come from one
-        batched scan; the lattice refinement itself is per-cluster (each
-        forward/backward pass is already whole-array over one read)."""
-        normalized = [
-            [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
-            for reads in clusters
-        ]
-        seeds = self._seed.reconstruct_many_indices(normalized, length)
-        return [
-            self._run(reads, length, initial=seed)
-            for reads, seed in zip(normalized, seeds)
-        ]
+        """Batch variant: the two-way seeds for every cluster come from
+        one batched scan and the lattice refinement advances all clusters'
+        reads together (see :meth:`_run_batched`)."""
+        seeds = self._seed.reconstruct_many_indices(clusters, length)
+        if not seeds:
+            return []
+        estimates = np.stack([np.asarray(s, dtype=np.int64) for s in seeds])
+        padded, lengths, cluster_of = pack_index_clusters(clusters)
+        estimates, confidences = self._run_batched(
+            padded, lengths, cluster_of, estimates
+        )
+        return list(zip(estimates, confidences))
 
     def reconstruct_batch(self, batch, length: int) -> np.ndarray:
-        results = self.reconstruct_batch_with_confidence(batch, length)
-        if not results:
+        if batch.n_clusters == 0:
             return np.zeros((0, length), dtype=np.int64)
+        results = self.reconstruct_batch_with_confidence(batch, length)
         return np.stack([estimate for estimate, _ in results])
 
     def reconstruct_batch_with_confidence(
         self, batch, length: int
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Columnar variant of :meth:`reconstruct_many_with_confidence`:
-        the two-way seeds come from one scan over the batch's buffer, and
-        the lattice refinement reads zero-copy per-read views."""
-        seeds = self._seed.reconstruct_batch(batch, length)
-        return [
-            self._run(
-                [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0],
-                length, initial=np.asarray(seed, dtype=np.int64),
-            )
-            for reads, seed in zip(batch.clusters_as_indices(), seeds)
-        ]
-
-    # -- internals --------------------------------------------------------------
-
-    def _run(
-        self,
-        reads: Sequence[np.ndarray],
-        length: int,
-        initial: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
-        estimate = (
-            initial
-            if initial is not None
-            else self._seed.reconstruct_indices(reads, length)
+        seeds from one scan over the batch's flat buffer, lattice
+        refinement over its padded read stack — end to end without
+        per-read Python objects."""
+        if batch.n_clusters == 0:
+            return []
+        seeds = np.asarray(self._seed.reconstruct_batch(batch, length),
+                           dtype=np.int64)
+        if batch.n_reads == 0 or length == 0:
+            return [(seed, np.ones(length, dtype=np.float64))
+                    for seed in seeds]
+        padded, lengths = batch.padded_matrix()
+        estimates, confidences = self._run_batched(
+            padded, lengths, batch.cluster_ids, seeds
         )
-        confidence = np.ones(length, dtype=np.float64)
-        if not reads or length == 0:
-            return estimate, confidence
-        for _ in range(self.max_iterations):
-            votes = np.full((length, self.n_alphabet), _TINY, dtype=np.float64)
-            for read in reads:
-                votes += self._posterior_votes(estimate, read)
-            refined = np.argmax(votes, axis=1).astype(np.int64)
-            confidence = votes.max(axis=1) / votes.sum(axis=1)
-            if np.array_equal(refined, estimate):
-                break
-            estimate = refined
-        return estimate, confidence
+        return list(zip(estimates, confidences))
 
-    def _posterior_votes(
-        self, estimate: np.ndarray, read: np.ndarray
+    # -- the batched lattice engine -------------------------------------------
+
+    def _run_batched(
+        self,
+        padded: np.ndarray,
+        lengths: np.ndarray,
+        cluster_of: np.ndarray,
+        seeds: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Refine every cluster's seed by batched posterior re-voting.
+
+        ``padded`` is the ``(n_reads, width)`` sentinel read stack (``-1``
+        past each read's end), rows tagged by the non-decreasing
+        ``cluster_of``; ``seeds`` is ``(n_clusters, length)``. Returns the
+        ``(n_clusters, length)`` estimates and confidences; clusters
+        without (non-empty) reads keep their seed with confidence 1.0,
+        matching the reference's early return.
+        """
+        n_clusters, length = seeds.shape
+        estimates = seeds.copy()
+        confidence = np.ones((n_clusters, length), dtype=np.float64)
+        keep = lengths > 0
+        if not keep.all():
+            padded = padded[keep]
+            lengths = lengths[keep]
+            cluster_of = cluster_of[keep]
+        if length == 0 or lengths.size == 0:
+            return estimates, confidence
+        width = int(lengths.max())
+        padded = np.ascontiguousarray(padded[:, :width])
+
+        active = np.unique(cluster_of)
+        for _ in range(self.max_iterations):
+            sub = np.isin(cluster_of, active)
+            if sub.all():
+                reads_a, lengths_a, clusters_a = padded, lengths, cluster_of
+            else:
+                reads_a, lengths_a = padded[sub], lengths[sub]
+                clusters_a = cluster_of[sub]
+            local = np.searchsorted(active, clusters_a)
+            current = estimates[active]
+            votes = self._posterior_vote_ballots(
+                reads_a, lengths_a, local, current
+            )
+            refined = votes.argmax(axis=2).astype(np.int64)
+            cluster_confidence = votes.max(axis=2) / votes.sum(axis=2)
+            changed = (refined != current).any(axis=1)
+            estimates[active] = refined
+            confidence[active] = cluster_confidence
+            active = active[changed]
+            if active.size == 0:
+                break
+        return estimates, confidence
+
+    def _posterior_vote_ballots(
+        self,
+        reads: np.ndarray,
+        lengths: np.ndarray,
+        local_cluster: np.ndarray,
+        estimates: np.ndarray,
     ) -> np.ndarray:
-        """Accumulate P(read char j emitted at position i) * [char == s]."""
-        length, m = len(estimate), len(read)
+        """Per-cluster soft ballots ``(n_clusters, length, alphabet)``.
+
+        One chunked sweep over the read stack; each chunk's per-read vote
+        matrices are summed into their clusters with a segmented
+        ``reduceat`` (reads are grouped by cluster, so segments are
+        contiguous and accumulate in read order).
+        """
+        n_clusters, length = estimates.shape
+        n_reads, width = reads.shape
+        votes = np.full((n_clusters, length, self.n_alphabet), _TINY,
+                        dtype=np.float64)
+        est_rows = estimates[local_cluster]
+        per_read = 8 * 6 * (length + 2) * (width + 2)
+        chunk = max(1, self.lattice_budget_bytes // per_read)
+        for start in range(0, n_reads, chunk):
+            stop = min(start + chunk, n_reads)
+            read_votes = self._read_vote_matrices(
+                est_rows[start:stop], reads[start:stop], lengths[start:stop]
+            )
+            segment_ids, firsts = np.unique(
+                local_cluster[start:stop], return_index=True
+            )
+            votes[segment_ids] += np.add.reduceat(read_votes, firsts, axis=0)
+        return votes
+
+    def _read_vote_matrices(
+        self, estimates: np.ndarray, reads: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """P(read char j emitted at position i) * [char == s], per read.
+
+        The batched form of the reference's ``_posterior_votes``: one
+        ``(n_reads, length, width)`` lattice per quantity, padded columns
+        (``j >= len(read)``) forced to exact zero mass.
+        """
+        n_reads, width = reads.shape
+        length = estimates.shape[1]
+        alphabet = self.n_alphabet
         p_ins = self.channel.p_insertion
         p_del = self.channel.p_deletion
         p_sub = self.channel.p_substitution
         p_copy = 1.0 - p_ins - p_del - p_sub
-        insertion_step = p_ins / self.n_alphabet
+        insertion_step = p_ins / alphabet
 
-        # Emission probability of read char j from estimate position i.
-        match = read[None, :] == estimate[:, None]  # (L, m)
+        # Emission probability of read char j from estimate position i;
+        # sentinel columns take the mismatch branch but never reach the
+        # votes (the backward lattice is exactly zero there).
+        match = reads[:, None, :] == estimates[:, :, None]  # (R, L, m)
         emit = np.where(
-            match, p_copy + _TINY, p_sub / max(self.n_alphabet - 1, 1) + _TINY
+            match, p_copy + _TINY, p_sub / max(alphabet - 1, 1) + _TINY
         )
 
-        log_forward, forward = self._forward(emit, insertion_step, p_del,
-                                             length, m)
-        log_backward, backward = self._backward(emit, insertion_step, p_del,
-                                                length, m)
+        forward = self._forward_batched(emit, insertion_step, p_del, lengths)
+        backward = self._backward_batched(emit, insertion_step, p_del, lengths)
 
         # Posterior of the emission edge (i, j) -> (i+1, j+1):
-        # F[i, j] * emit[i, j] * B[i+1, j+1], in log space for scaling.
-        with np.errstate(divide="ignore"):
-            log_f = np.log(forward[:-1, :-1]) + log_forward[:-1, None]
-            log_b = np.log(backward[1:, 1:]) + log_backward[1:, None]
-        log_edge = log_f + np.log(emit) + log_b
-        log_edge -= log_edge.max()  # scale-free: weights are relative
-        edge = np.exp(log_edge)  # (L, m)
+        # F[i, j] * emit[i, j] * B[i+1, j+1]. The reference carries per-row
+        # log scales and a global peak shift through this product, but all
+        # of those are constant over j within a row — and the votes below
+        # are normalized per (read, row) — so they cancel and the batched
+        # lattice can stay in the probability domain with no 3-D log/exp
+        # passes at all. (Rows whose entire relative mass sits below the
+        # float underflow floor lose it; the reference's exp underflows in
+        # the same regime, a few hundred nats further out.) Padded columns
+        # (j >= len(read)) carry an exact zero in the backward slice, so
+        # they vanish from the votes.
+        edge = forward[:, :-1, :-1] * emit
+        edge *= backward[:, 1:, 1:]
 
-        votes = np.zeros((length, self.n_alphabet), dtype=np.float64)
-        for symbol in range(self.n_alphabet):
-            mask = read == symbol
-            if mask.any():
-                votes[:, symbol] += edge[:, mask].sum(axis=1)
+        # votes[r, i, s] = sum_j edge[r, i, j] * [read[r, j] == s]: one
+        # batched matmul against the reads' one-hot expansion (sentinel
+        # columns are all-zero rows there).
+        one_hot = (
+            reads[:, :, None] == np.arange(alphabet)[None, None, :]
+        ).astype(np.float64)
+        votes = edge @ one_hot
         # Normalize per position so each read contributes one soft vote.
-        totals = votes.sum(axis=1, keepdims=True)
+        totals = votes.sum(axis=2, keepdims=True)
         np.divide(votes, np.maximum(totals, _TINY), out=votes)
         return votes
 
-    def _forward(self, emit, insertion_step, p_del, length, m):
-        """Row-normalized forward lattice with per-row log scales."""
-        forward = np.zeros((length + 1, m + 1), dtype=np.float64)
-        log_scale = np.zeros(length + 1, dtype=np.float64)
-        # Row 0: only insertions from (0, 0).
-        row = insertion_step ** np.arange(m + 1, dtype=np.float64)
-        scale = row.sum()
-        forward[0] = row / scale
-        log_scale[0] = np.log(scale)
-        for i in range(1, length + 1):
-            base = np.empty(m + 1, dtype=np.float64)
-            base[0] = forward[i - 1, 0] * p_del
-            base[1:] = (forward[i - 1, :-1] * emit[i - 1]
-                        + forward[i - 1, 1:] * p_del)
-            # Within-row insertion chain: row[j] = base[j] + a * row[j-1].
-            row = lfilter([1.0], [1.0, -insertion_step], base)
-            scale = row.sum()
-            if scale <= 0:
-                scale = _TINY
-            forward[i] = row / scale
-            log_scale[i] = log_scale[i - 1] + np.log(scale)
-        return log_scale, forward
+    #: Rows between renormalizations of the batched lattices. The scales
+    #: cancel in the vote normalization, so normalizing is purely an
+    #: underflow guard; row mass shrinks by at most ~p_del per row, so a
+    #: handful of rows cannot come near the float64 floor.
+    _NORMALIZE_EVERY = 8
 
-    def _backward(self, emit, insertion_step, p_del, length, m):
-        """Row-normalized backward lattice with per-row log scales."""
-        backward = np.zeros((length + 1, m + 1), dtype=np.float64)
-        log_scale = np.zeros(length + 1, dtype=np.float64)
-        row = insertion_step ** np.arange(m, -1, -1, dtype=np.float64)
-        scale = row.sum()
-        backward[length] = row / scale
-        log_scale[length] = np.log(scale)
+    def _forward_batched(self, emit, insertion_step, p_del, lengths):
+        """Forward lattices, one per read, row-normalized periodically.
+
+        Column ``j`` of read ``r`` is real only for ``j <= len(read)``.
+        The within-row ``lfilter`` chain runs left to right, so padded-
+        column garbage never flows *into* real columns; it is masked out
+        only on normalization rows (where it would pollute the row sum).
+        Garbage in the stored lattice is harmless downstream: the edge
+        product multiplies it by the backward lattice's exact zeros.
+        """
+        n_reads, length, width = emit.shape
+        columns = np.arange(width + 1)
+        valid = columns[None, :] <= lengths[:, None]  # (R, m + 1)
+        forward = np.zeros((n_reads, length + 1, width + 1), dtype=np.float64)
+        # Row 0: only insertions from (0, 0).
+        row = np.where(
+            valid, np.power(insertion_step, columns, dtype=np.float64), 0.0
+        )
+        forward[:, 0, :] = row / row.sum(axis=1)[:, None]
+        base = np.empty((n_reads, width + 1), dtype=np.float64)
+        scratch = np.empty((n_reads, width), dtype=np.float64)
+        for i in range(1, length + 1):
+            previous = forward[:, i - 1, :]
+            base[:, 0] = previous[:, 0] * p_del
+            np.multiply(previous[:, :-1], emit[:, i - 1, :], out=base[:, 1:])
+            np.multiply(previous[:, 1:], p_del, out=scratch)
+            base[:, 1:] += scratch
+            # Within-row insertion chain: row[j] = base[j] + a * row[j-1].
+            row = lfilter([1.0], [1.0, -insertion_step], base, axis=1)
+            if i % self._NORMALIZE_EVERY == 0:
+                np.multiply(row, valid, out=row)
+                scale = row.sum(axis=1)
+                scale = np.where(scale > 0, scale, _TINY)
+                np.divide(row, scale[:, None], out=forward[:, i, :])
+            else:
+                forward[:, i, :] = row
+        return forward
+
+    def _backward_batched(self, emit, insertion_step, p_del, lengths):
+        """Backward lattices, one per read, row-normalized periodically.
+
+        The backward chain runs right to left, so here the padded columns
+        sit *upstream* of the real ones: ``base`` is masked to zero before
+        the reversed ``lfilter`` so no phantom mass flows into column
+        ``len(read)``, which is exactly the reference's boundary cell.
+        (With the base masked, the chain output is already exactly zero in
+        every padded column — the edge product relies on that.)
+        """
+        n_reads, length, width = emit.shape
+        columns = np.arange(width + 1)
+        exponents = lengths[:, None] - columns[None, :]
+        valid = exponents >= 0  # (R, m + 1)
+        backward = np.zeros((n_reads, length + 1, width + 1), dtype=np.float64)
+        row = np.where(
+            valid,
+            np.power(insertion_step, np.maximum(exponents, 0),
+                     dtype=np.float64),
+            0.0,
+        )
+        backward[:, length, :] = row / row.sum(axis=1)[:, None]
+        base = np.empty((n_reads, width + 1), dtype=np.float64)
+        scratch = np.empty((n_reads, width), dtype=np.float64)
         for i in range(length - 1, -1, -1):
-            base = np.empty(m + 1, dtype=np.float64)
-            base[m] = backward[i + 1, m] * p_del
-            base[:-1] = (backward[i + 1, 1:] * emit[i]
-                         + backward[i + 1, :-1] * p_del)
+            nxt = backward[:, i + 1, :]
+            base[:, width] = nxt[:, width] * p_del
+            np.multiply(nxt[:, 1:], emit[:, i, :], out=base[:, :-1])
+            np.multiply(nxt[:, :-1], p_del, out=scratch)
+            base[:, :-1] += scratch
+            np.multiply(base, valid, out=base)
             # Backward insertion chain: row[j] = base[j] + a * row[j+1].
-            row = lfilter([1.0], [1.0, -insertion_step], base[::-1])[::-1]
-            scale = row.sum()
-            if scale <= 0:
-                scale = _TINY
-            backward[i] = row / scale
-            log_scale[i] = log_scale[i + 1] + np.log(scale)
-        return log_scale, backward
+            row = lfilter(
+                [1.0], [1.0, -insertion_step], base[:, ::-1], axis=1
+            )[:, ::-1]
+            if i % self._NORMALIZE_EVERY == 0:
+                scale = row.sum(axis=1)
+                scale = np.where(scale > 0, scale, _TINY)
+                np.divide(row, scale[:, None], out=backward[:, i, :])
+            else:
+                backward[:, i, :] = row
+        return backward

@@ -1,27 +1,35 @@
-"""Frozen reference implementations of the pointer-scan reconstructors.
+"""Frozen reference implementations of the batched reconstructors.
 
-These are the original per-cluster implementations, kept verbatim when the
-production engine in :mod:`repro.consensus.bma` was rewritten to advance
-*every read of every cluster* simultaneously. They process exactly one
-cluster per call and loop position-by-position over that single cluster,
-which makes them easy to audit against the paper's Figure 2 walk-through
-— and deliberately slow.
+These are the original per-cluster implementations, kept verbatim as the
+production engines were rewritten to advance *every read of every
+cluster* simultaneously — first the pointer scans
+(:mod:`repro.consensus.bma`), then the refinement layers (the iterative
+realign-and-vote and the posterior IDS lattice). They process exactly one
+cluster per call and loop read-by-read (and position-by-position) over
+that single cluster, which makes them easy to audit against the paper's
+walk-throughs — and deliberately slow.
 
-They exist so correctness of the batched engine is checkable by
+They exist so correctness of the batched engines is checkable by
 construction: ``tests/consensus/test_vectorized_vs_reference.py`` asserts
 byte-identical output between each production reconstructor and its
-reference twin across randomized clusters. Do not optimize this module;
-its value is that it never changes.
+reference twin across randomized clusters (the posterior's soft
+confidences are pinned to float round-off, as the batched lattice sums
+the same terms in a different association order). Do not optimize this
+module; its value is that it never changes.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.signal import lfilter
 
+from repro.channel.errors import ErrorModel
 from repro.codec.basemap import bases_to_indices, indices_to_bases
 from repro.consensus.base import Reconstructor
+
+_TINY = 1e-300
 
 
 class ReferenceOneWayReconstructor(Reconstructor):
@@ -264,3 +272,159 @@ class ReferenceIterativeReconstructor(Reconstructor):
             )
             matrix[i] = np.minimum.accumulate(candidates - offsets) + offsets
         return matrix
+
+
+class ReferencePosteriorReconstructor(Reconstructor):
+    """The original per-read IDS-lattice posterior reconstructor.
+
+    One cluster per call; every read runs its own forward-backward pass
+    over the insertion/deletion/substitution lattice (a Python loop of
+    per-row ``lfilter`` recurrences), votes are accumulated read by read,
+    and the estimate is re-voted to a fixed point. Seeded by the frozen
+    two-way scan. The production twin in
+    :mod:`repro.consensus.posterior` lifts the same recursions to a
+    ``(reads, positions)`` formulation; the differential suite pins its
+    estimates byte-identical to this class (confidences to float
+    round-off, as the batched path reorders the reductions) — except for
+    reads that are *impossible* under the channel model (longer than the
+    estimate with ``p_insertion=0``), where this class's log-space
+    rescaling emits NaN and the batched path's finite zero-vote handling
+    is pinned instead.
+    """
+
+    def __init__(
+        self,
+        channel: Optional[ErrorModel] = None,
+        max_iterations: int = 3,
+        n_alphabet: int = 4,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.channel = channel or ErrorModel.uniform(0.05)
+        if self.channel.total_rate >= 1.0:
+            raise ValueError("channel error rate must be below 1")
+        self.max_iterations = max_iterations
+        self.n_alphabet = n_alphabet
+        self._seed = ReferenceTwoWayReconstructor(n_alphabet=n_alphabet)
+
+    def reconstruct(self, reads: Sequence[str], length: int) -> str:
+        arrays = [bases_to_indices(read) for read in reads]
+        return indices_to_bases(self.reconstruct_indices(arrays, length))
+
+    def reconstruct_indices(
+        self, reads: Sequence[np.ndarray], length: int
+    ) -> np.ndarray:
+        estimate, _ = self.reconstruct_with_confidence(reads, length)
+        return estimate
+
+    def positional_confidence(
+        self, reads: Sequence[np.ndarray], length: int
+    ) -> np.ndarray:
+        """Winning posterior mass per position (1.0 = certain)."""
+        _, confidence = self.reconstruct_with_confidence(reads, length)
+        return confidence
+
+    def reconstruct_with_confidence(
+        self, reads: Sequence[np.ndarray], length: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        reads = [np.asarray(r, dtype=np.int64) for r in reads if len(r) > 0]
+        estimate = self._seed.reconstruct_indices(reads, length)
+        confidence = np.ones(length, dtype=np.float64)
+        if not reads or length == 0:
+            return estimate, confidence
+        for _ in range(self.max_iterations):
+            votes = np.full((length, self.n_alphabet), _TINY, dtype=np.float64)
+            for read in reads:
+                votes += self._posterior_votes(estimate, read)
+            refined = np.argmax(votes, axis=1).astype(np.int64)
+            confidence = votes.max(axis=1) / votes.sum(axis=1)
+            if np.array_equal(refined, estimate):
+                break
+            estimate = refined
+        return estimate, confidence
+
+    def _posterior_votes(
+        self, estimate: np.ndarray, read: np.ndarray
+    ) -> np.ndarray:
+        """Accumulate P(read char j emitted at position i) * [char == s]."""
+        length, m = len(estimate), len(read)
+        p_ins = self.channel.p_insertion
+        p_del = self.channel.p_deletion
+        p_sub = self.channel.p_substitution
+        p_copy = 1.0 - p_ins - p_del - p_sub
+        insertion_step = p_ins / self.n_alphabet
+
+        # Emission probability of read char j from estimate position i.
+        match = read[None, :] == estimate[:, None]  # (L, m)
+        emit = np.where(
+            match, p_copy + _TINY, p_sub / max(self.n_alphabet - 1, 1) + _TINY
+        )
+
+        log_forward, forward = self._forward(emit, insertion_step, p_del,
+                                             length, m)
+        log_backward, backward = self._backward(emit, insertion_step, p_del,
+                                                length, m)
+
+        # Posterior of the emission edge (i, j) -> (i+1, j+1):
+        # F[i, j] * emit[i, j] * B[i+1, j+1], in log space for scaling.
+        with np.errstate(divide="ignore"):
+            log_f = np.log(forward[:-1, :-1]) + log_forward[:-1, None]
+            log_b = np.log(backward[1:, 1:]) + log_backward[1:, None]
+        log_edge = log_f + np.log(emit) + log_b
+        log_edge -= log_edge.max()  # scale-free: weights are relative
+        edge = np.exp(log_edge)  # (L, m)
+
+        votes = np.zeros((length, self.n_alphabet), dtype=np.float64)
+        for symbol in range(self.n_alphabet):
+            mask = read == symbol
+            if mask.any():
+                votes[:, symbol] += edge[:, mask].sum(axis=1)
+        # Normalize per position so each read contributes one soft vote.
+        totals = votes.sum(axis=1, keepdims=True)
+        np.divide(votes, np.maximum(totals, _TINY), out=votes)
+        return votes
+
+    def _forward(self, emit, insertion_step, p_del, length, m):
+        """Row-normalized forward lattice with per-row log scales."""
+        forward = np.zeros((length + 1, m + 1), dtype=np.float64)
+        log_scale = np.zeros(length + 1, dtype=np.float64)
+        # Row 0: only insertions from (0, 0).
+        row = insertion_step ** np.arange(m + 1, dtype=np.float64)
+        scale = row.sum()
+        forward[0] = row / scale
+        log_scale[0] = np.log(scale)
+        for i in range(1, length + 1):
+            base = np.empty(m + 1, dtype=np.float64)
+            base[0] = forward[i - 1, 0] * p_del
+            base[1:] = (forward[i - 1, :-1] * emit[i - 1]
+                        + forward[i - 1, 1:] * p_del)
+            # Within-row insertion chain: row[j] = base[j] + a * row[j-1].
+            row = lfilter([1.0], [1.0, -insertion_step], base)
+            scale = row.sum()
+            if scale <= 0:
+                scale = _TINY
+            forward[i] = row / scale
+            log_scale[i] = log_scale[i - 1] + np.log(scale)
+        return log_scale, forward
+
+    def _backward(self, emit, insertion_step, p_del, length, m):
+        """Row-normalized backward lattice with per-row log scales."""
+        backward = np.zeros((length + 1, m + 1), dtype=np.float64)
+        log_scale = np.zeros(length + 1, dtype=np.float64)
+        row = insertion_step ** np.arange(m, -1, -1, dtype=np.float64)
+        scale = row.sum()
+        backward[length] = row / scale
+        log_scale[length] = np.log(scale)
+        for i in range(length - 1, -1, -1):
+            base = np.empty(m + 1, dtype=np.float64)
+            base[m] = backward[i + 1, m] * p_del
+            base[:-1] = (backward[i + 1, 1:] * emit[i]
+                         + backward[i + 1, :-1] * p_del)
+            # Backward insertion chain: row[j] = base[j] + a * row[j+1].
+            row = lfilter([1.0], [1.0, -insertion_step], base[::-1])[::-1]
+            scale = row.sum()
+            if scale <= 0:
+                scale = _TINY
+            backward[i] = row / scale
+            log_scale[i] = log_scale[i + 1] + np.log(scale)
+        return log_scale, backward

@@ -214,8 +214,10 @@ class DnaStoragePipeline:
 
         All surviving clusters are decoded through the reconstructor's
         *batch* entry point in one call, so engines that advance every
-        cluster simultaneously (the default two-way scan) reconstruct the
-        whole unit in a couple of vectorized passes. A columnar
+        cluster simultaneously reconstruct the whole unit in a handful of
+        vectorized passes — the pointer scans (the default two-way) and
+        the refinement layers (iterative realign-and-vote, posterior
+        lattice) alike. A columnar
         :class:`~repro.channel.readbatch.ReadBatch` (what
         ``SequencingSimulator.sequence_batch`` emits) is consumed whole —
         flat base buffer straight into the consensus scan; a plain cluster
@@ -317,7 +319,8 @@ class DnaStoragePipeline:
         self, index_clusters: Sequence[Sequence[np.ndarray]], length: int
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Confidence reconstruction over index lists: the batched variant
-        when the reconstructor has one, per-cluster calls otherwise."""
+        when the reconstructor has one (the posterior's runs the whole
+        unit through one lattice sweep), per-cluster calls otherwise."""
         if hasattr(self.reconstructor, "reconstruct_many_with_confidence"):
             return self.reconstructor.reconstruct_many_with_confidence(
                 index_clusters, length

@@ -1,0 +1,219 @@
+"""Tests for the CI perf-trend gate (``benchmarks/check_trend.py``).
+
+The script is the guard rail that keeps the committed
+``benchmarks/out/BENCH_*.json`` evidence honest: these tests drive it
+over synthetic baseline/fresh evidence directories and pin the gate's
+behavior — what regresses, what is noise, what is informational.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (Path(__file__).resolve().parents[2] / "benchmarks"
+          / "check_trend.py")
+spec = importlib.util.spec_from_file_location("check_trend", SCRIPT)
+check_trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_trend)
+
+
+def write_evidence(directory, timings, series=None):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "BENCH_timings.json").write_text(json.dumps(timings))
+    for name, payload in (series or {}).items():
+        (directory / name).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def evidence(tmp_path):
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    return baseline, fresh
+
+
+class TestCompareTimings:
+    def test_regression_detected(self):
+        rows = check_trend.compare_timings(
+            {"a": 10.0}, {"a": 16.0}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows == [("regression", "a", 10.0, 16.0)]
+
+    def test_within_tolerance_is_ok(self):
+        rows = check_trend.compare_timings(
+            {"a": 10.0}, {"a": 14.9}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows[0][0] == "ok"
+
+    def test_improvement_reported(self):
+        rows = check_trend.compare_timings(
+            {"a": 10.0}, {"a": 4.0}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows[0][0] == "improvement"
+
+    def test_noise_floor_ignores_fast_tests(self):
+        """A 35ms test tripling is noise, not a regression."""
+        rows = check_trend.compare_timings(
+            {"a": 0.035}, {"a": 0.110}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows[0][0] == "ignored"
+
+    def test_fast_test_regressing_to_scalar_speed_counts(self):
+        """The absolute-growth floor must not exempt a fast figure from a
+        real regression: 37ms -> 0.9s is the scalar-loop failure mode."""
+        rows = check_trend.compare_timings(
+            {"a": 0.037}, {"a": 0.9}, tolerance=0.5, min_seconds=0.5
+        )
+        assert rows[0][0] == "regression"
+
+    def test_small_absolute_improvement_is_noise(self):
+        rows = check_trend.compare_timings(
+            {"a": 0.110}, {"a": 0.035}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows[0][0] == "ignored"
+
+    def test_crossing_noise_floor_counts(self):
+        rows = check_trend.compare_timings(
+            {"a": 0.9}, {"a": 5.0}, tolerance=0.5, min_seconds=1.0
+        )
+        assert rows[0][0] == "regression"
+
+    def test_one_sided_tests_never_fail(self):
+        rows = check_trend.compare_timings(
+            {"old": 9.0}, {"new": 9.0}, tolerance=0.5, min_seconds=1.0
+        )
+        assert {row[0] for row in rows} == {"baseline-only", "fresh-only"}
+
+    def test_only_filter(self):
+        rows = check_trend.compare_timings(
+            {"fig03": 5.0, "fig12": 5.0}, {"fig03": 50.0, "fig12": 50.0},
+            tolerance=0.5, min_seconds=1.0, only=["fig12"],
+        )
+        assert [row[1] for row in rows] == ["fig12"]
+
+
+class TestCompareSeries:
+    def test_drift_detected(self, evidence):
+        baseline, fresh = evidence
+        payload = {"title": "t", "x": [1, 2],
+                   "series": {"s": [0.5, 0.25]}}
+        drifted = {"title": "t", "x": [1, 2],
+                   "series": {"s": [0.5, 0.30]}}
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": payload})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": drifted})
+        problems, notes = check_trend.compare_series(baseline, fresh,
+                                                     rtol=1e-9)
+        assert len(problems) == 1
+        assert problems[0][1] == "s[x=2]"
+        assert notes == []
+
+    def test_identical_series_pass(self, evidence):
+        baseline, fresh = evidence
+        payload = {"title": "t", "x": ["0", "1"],
+                   "series": {"s": [0.1, 0.2]}}
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": payload})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": payload})
+        assert check_trend.compare_series(baseline, fresh,
+                                          rtol=1e-9) == ([], [])
+
+    def test_missing_fresh_file_is_noted_not_drift(self, evidence):
+        baseline, fresh = evidence
+        payload = {"title": "t", "x": [1], "series": {"s": [1.0]}}
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": payload})
+        write_evidence(fresh, {"a": 1.0})
+        problems, notes = check_trend.compare_series(baseline, fresh,
+                                                     rtol=1e-9)
+        assert problems == []
+        assert notes and "not produced" in notes[0]
+
+    def test_vanished_series_is_noted_not_drift(self, evidence):
+        """A renamed/dropped series key must not silently pass the gate."""
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1], "series": {"old": [1.0]}}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1], "series": {"new": [1.0]}}})
+        problems, notes = check_trend.compare_series(baseline, fresh,
+                                                     rtol=1e-9)
+        assert problems == []
+        assert notes and "'old' missing" in notes[0]
+
+    def test_x_mismatch_is_drift(self, evidence):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1, 2], "series": {"s": [1, 2]}}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1, 3], "series": {"s": [1, 2]}}})
+        problems, _ = check_trend.compare_series(baseline, fresh, rtol=1e-9)
+        assert problems and problems[0][1] == "x"
+
+    def test_stringified_x_compares_numerically(self, evidence):
+        """Older evidence stringified numpy-integer x values; the format
+        transition to numeric axes must not read as drift."""
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": ["0", "10"], "series": {"s": [1.0, 2.0]}}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [0, 10], "series": {"s": [1.0, 2.0]}}})
+        assert check_trend.compare_series(baseline, fresh,
+                                          rtol=1e-9) == ([], [])
+
+
+class TestMain:
+    def test_clean_run_exits_zero(self, evidence, capsys):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 5.0})
+        write_evidence(fresh, {"a": 5.2})
+        code = check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, evidence, capsys):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 5.0})
+        write_evidence(fresh, {"a": 12.0})
+        code = check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_series_drift_exits_one(self, evidence):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1], "series": {"s": [1.0]}}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_t.json": {
+            "title": "t", "x": [1], "series": {"s": [2.0]}}})
+        assert check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+        ]) == 1
+        assert check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+            "--skip-series",
+        ]) == 0
+
+    def test_missing_directory_exits_two(self, tmp_path):
+        assert check_trend.main([
+            "--baseline", str(tmp_path / "nope"),
+            "--fresh", str(tmp_path / "nope"),
+        ]) == 2
+
+    def test_missing_timings_exits_two(self, evidence):
+        baseline, fresh = evidence
+        baseline.mkdir()
+        fresh.mkdir()
+        assert check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+        ]) == 2
+
+    def test_against_committed_evidence(self, capsys):
+        """The real committed baseline compared against itself is clean —
+        the invariant the CI job starts from."""
+        out_dir = SCRIPT.parent / "out"
+        code = check_trend.main([
+            "--baseline", str(out_dir), "--fresh", str(out_dir),
+        ])
+        assert code == 0

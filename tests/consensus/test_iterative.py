@@ -39,6 +39,30 @@ class TestBasics:
                 == reconstructor.reconstruct(reads, 70))
 
 
+class TestEmptyBatch:
+    """The explicit empty-batch early returns of ``reconstruct_batch``."""
+
+    def test_zero_cluster_batch(self, reconstructor):
+        from repro.channel import ReadBatch
+
+        result = reconstructor.reconstruct_batch(ReadBatch.from_strings([]), 8)
+        assert result.shape == (0, 8)
+        assert result.dtype == np.int64
+
+    def test_zero_cluster_batch_zero_length(self, reconstructor):
+        from repro.channel import ReadBatch
+
+        result = reconstructor.reconstruct_batch(ReadBatch.from_strings([]), 0)
+        assert result.shape == (0, 0)
+
+    def test_clusters_without_reads_keep_seed(self, reconstructor):
+        from repro.channel import ReadBatch
+
+        batch = ReadBatch.from_strings([[], []])
+        result = reconstructor.reconstruct_batch(batch, 5)
+        np.testing.assert_array_equal(result, np.zeros((2, 5), dtype=np.int64))
+
+
 class TestEditMatrix:
     def test_matches_levenshtein(self, rng):
         from repro.cluster.distance import edit_distance_indices

@@ -47,6 +47,29 @@ class TestBasics:
         np.testing.assert_array_equal(first, second)
 
 
+class TestEmptyBatch:
+    """The explicit empty-batch early returns of the columnar entry points."""
+
+    def test_zero_cluster_batch(self, reconstructor):
+        from repro.channel import ReadBatch
+
+        batch = ReadBatch.from_strings([])
+        result = reconstructor.reconstruct_batch(batch, 7)
+        assert result.shape == (0, 7)
+        assert result.dtype == np.int64
+        assert reconstructor.reconstruct_batch_with_confidence(batch, 7) == []
+
+    def test_clusters_without_reads_fully_confident(self, reconstructor):
+        from repro.channel import ReadBatch
+
+        batch = ReadBatch.from_strings([[], ["", ""]])
+        results = reconstructor.reconstruct_batch_with_confidence(batch, 4)
+        assert len(results) == 2
+        for estimate, confidence in results:
+            np.testing.assert_array_equal(estimate, np.zeros(4, dtype=np.int64))
+            np.testing.assert_array_equal(confidence, np.ones(4))
+
+
 class TestAccuracy:
     def test_competitive_with_two_way(self, rng):
         model = ErrorModel.uniform(0.08)
@@ -106,7 +129,9 @@ class TestConfidence:
             strand = random_bases(length, rng)
             reads = _index_reads(model, strand, 5, rng)
             target = bases_to_indices(strand)
-            estimate, confidence = reconstructor._run(reads, length)
+            estimate, confidence = reconstructor.reconstruct_with_confidence(
+                reads, length
+            )
             wrong = estimate != target
             confidence_correct.extend(confidence[~wrong])
             confidence_wrong.extend(confidence[wrong])

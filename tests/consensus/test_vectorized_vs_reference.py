@@ -13,12 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.channel import ErrorModel
+from repro.channel import ErrorModel, ReadBatch
 from repro.consensus import (
     IterativeReconstructor,
     OneWayReconstructor,
+    PosteriorReconstructor,
     ReferenceIterativeReconstructor,
     ReferenceOneWayReconstructor,
+    ReferencePosteriorReconstructor,
     ReferenceTwoWayReconstructor,
     TwoWayReconstructor,
 )
@@ -112,6 +114,186 @@ class TestBatchedMatchesReference:
         clusters = random_unit(5, 3, 10, 0.1, 3)
         for estimate in fast_cls().reconstruct_many_indices(clusters, 0):
             assert estimate.shape == (0,)
+
+
+class TestPosteriorMatchesReference:
+    """The batched posterior lattice vs the frozen per-read original.
+
+    Estimates must match byte for byte. Confidences are pinned to float
+    round-off rather than bitwise: the batched lattice sums the same
+    per-read vote terms, but in a different association order (segmented
+    ``reduceat``, probability-domain edge products), so the soft values
+    agree only to ~1e-12 relative.
+    """
+
+    def assert_matches(self, clusters, length, channel):
+        fast = PosteriorReconstructor(channel=channel)
+        slow = ReferencePosteriorReconstructor(channel=channel)
+        batched = fast.reconstruct_many_with_confidence(clusters, length)
+        assert len(batched) == len(clusters)
+        for reads, (estimate, confidence) in zip(clusters, batched):
+            expected, expected_confidence = slow.reconstruct_with_confidence(
+                reads, length
+            )
+            np.testing.assert_array_equal(estimate, expected)
+            np.testing.assert_allclose(
+                confidence, expected_confidence, rtol=1e-9, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_units(self, seed):
+        clusters = random_unit(seed, 8, 36, 0.1, 6)
+        self.assert_matches(clusters, 36, ErrorModel.uniform(0.08))
+
+    def test_high_noise_unit(self):
+        clusters = random_unit(77, 6, 48, 0.22, 5)
+        self.assert_matches(clusters, 48, ErrorModel.uniform(0.15))
+
+    def test_deletion_heavy_channel(self):
+        """No insertions at all (insertion step 0) plus heavy deletions —
+        the regime that stresses the lattice boundary handling."""
+        channel = ErrorModel(p_insertion=0.0, p_deletion=0.2,
+                             p_substitution=0.05)
+        rng = np.random.default_rng(9)
+        clusters = []
+        for _ in range(6):
+            original = rng.integers(0, 4, 40).astype(np.uint8)
+            clusters.append([
+                channel.apply_indices(original, rng) for _ in range(4)
+            ])
+        self.assert_matches(clusters, 40, channel)
+
+    def test_impossible_read_stays_finite(self):
+        """The one deliberate divergence from the reference: a read that
+        is impossible under the model (longer than the estimate with
+        ``p_insertion=0``) zeroes the whole lattice. The reference's
+        log-space rescaling turns that into NaN votes and confidences;
+        the batched probability-domain path keeps the read voteless and
+        finite, which is the behavior pinned here."""
+        channel = ErrorModel(p_insertion=0.0, p_deletion=0.2,
+                             p_substitution=0.05)
+        rng = np.random.default_rng(4)
+        reads = [rng.integers(0, 4, 40).astype(np.int64),
+                 rng.integers(0, 4, 25).astype(np.int64)]
+        fast = PosteriorReconstructor(channel=channel)
+        estimate, confidence = fast.reconstruct_many_with_confidence(
+            [reads], 30
+        )[0]
+        assert np.isfinite(confidence).all()
+        assert estimate.shape == (30,)
+        assert ((estimate >= 0) & (estimate < 4)).all()
+        # And it is deterministic, not NaN-poisoned garbage.
+        again, again_confidence = fast.reconstruct_many_with_confidence(
+            [reads], 30
+        )[0]
+        np.testing.assert_array_equal(estimate, again)
+        np.testing.assert_array_equal(confidence, again_confidence)
+
+    def test_binary_alphabet(self):
+        rng = np.random.default_rng(13)
+        model = ErrorModel.uniform(0.12)
+        clusters = []
+        for _ in range(5):
+            original = rng.integers(0, 2, 30).astype(np.uint8)
+            clusters.append([
+                model.apply_indices(original, rng, n_alphabet=2)
+                for _ in range(4)
+            ])
+        fast = PosteriorReconstructor(channel=model, n_alphabet=2)
+        slow = ReferencePosteriorReconstructor(channel=model, n_alphabet=2)
+        for reads, (estimate, confidence) in zip(
+            clusters, fast.reconstruct_many_with_confidence(clusters, 30)
+        ):
+            expected, expected_confidence = slow.reconstruct_with_confidence(
+                reads, 30
+            )
+            np.testing.assert_array_equal(estimate, expected)
+            np.testing.assert_allclose(
+                confidence, expected_confidence, rtol=1e-9, atol=1e-12
+            )
+
+    def test_degenerate_clusters(self):
+        clusters = [
+            [],
+            [np.zeros(0, dtype=np.int64)],
+            [np.array([1], dtype=np.int64)],
+            [np.array([0, 1, 2, 3] * 4, dtype=np.int64)] * 3,
+        ]
+        self.assert_matches(clusters, 10, ErrorModel.uniform(0.08))
+
+    def test_columnar_entry_point(self):
+        """The ReadBatch path must agree with the reference as well."""
+        channel = ErrorModel.uniform(0.1)
+        clusters = random_unit(5, 7, 32, 0.1, 5)
+        batch = ReadBatch.from_arrays(clusters)
+        fast = PosteriorReconstructor(channel=channel)
+        slow = ReferencePosteriorReconstructor(channel=channel)
+        for reads, (estimate, confidence) in zip(
+            clusters, fast.reconstruct_batch_with_confidence(batch, 32)
+        ):
+            expected, expected_confidence = slow.reconstruct_with_confidence(
+                reads, 32
+            )
+            np.testing.assert_array_equal(estimate, expected)
+            np.testing.assert_allclose(
+                confidence, expected_confidence, rtol=1e-9, atol=1e-12
+            )
+
+
+class TestBatchedRefinementInternals:
+    """Properties specific to the batched refinement engines."""
+
+    def test_iterative_chunked_equals_unchunked(self, monkeypatch):
+        """A tiny DP budget forces many chunks; votes are additive, so the
+        result must not change."""
+        clusters = random_unit(21, 10, 40, 0.12, 6)
+        whole = IterativeReconstructor().reconstruct_many_indices(clusters, 40)
+        monkeypatch.setattr(IterativeReconstructor, "dp_budget_bytes", 1)
+        chunked = IterativeReconstructor().reconstruct_many_indices(
+            clusters, 40
+        )
+        for a, b in zip(whole, chunked):
+            np.testing.assert_array_equal(a, b)
+
+    def test_posterior_chunked_equals_unchunked(self, monkeypatch):
+        """Chunk boundaries fall inside clusters; the segmented reduceat
+        accumulation must keep per-cluster read order regardless."""
+        clusters = random_unit(22, 8, 32, 0.1, 6)
+        whole = PosteriorReconstructor().reconstruct_many_with_confidence(
+            clusters, 32
+        )
+        monkeypatch.setattr(PosteriorReconstructor, "lattice_budget_bytes", 1)
+        chunked = PosteriorReconstructor().reconstruct_many_with_confidence(
+            clusters, 32
+        )
+        for (ew, cw), (ec, cc) in zip(whole, chunked):
+            np.testing.assert_array_equal(ew, ec)
+            np.testing.assert_allclose(cw, cc, rtol=1e-9, atol=1e-12)
+
+    def test_iterative_active_set_isolation(self):
+        """A cluster at its fixed point must not change when refined next
+        to a cluster that needs many iterations."""
+        easy = [np.array([0, 1, 2, 3] * 6, dtype=np.int64)] * 4
+        hard = random_unit(33, 1, 24, 0.25, 6)[0]
+        solo = IterativeReconstructor().reconstruct_indices(easy, 24)
+        together = IterativeReconstructor().reconstruct_many_indices(
+            [easy, hard, easy], 24
+        )
+        np.testing.assert_array_equal(together[0], solo)
+        np.testing.assert_array_equal(together[2], solo)
+
+    def test_reads_longer_and_shorter_than_length(self):
+        rng = np.random.default_rng(3)
+        clusters = [
+            [rng.integers(0, 4, n).astype(np.int64)
+             for n in (2, 90, 17, 60, 1)],
+        ]
+        fast = IterativeReconstructor()
+        slow = ReferenceIterativeReconstructor()
+        np.testing.assert_array_equal(
+            fast.reconstruct_many_indices(clusters, 45)[0],
+            slow.reconstruct_indices(clusters[0], 45),
+        )
 
 
 class TestOneWayParameterVariants:

@@ -9,12 +9,17 @@ engine but far below what any scalar implementation can reach. The same
 logic applies to the channel stage: the batched engine emits the
 quickstart unit's reads in a few milliseconds, so a 0.5 s ceiling (and a
 5x lead over the per-read reference) can only fail if the vectorized pass
-regresses to per-copy Python loops.
+regresses to per-copy Python loops. The refinement stages (iterative
+realign-and-vote, posterior lattice) carry the same style of guard: the
+batched sweeps must lead their frozen per-cluster references by at least
+5x on a quickstart-sized unit (measured ~10x for both on the development
+machine), plus an absolute ceiling.
 """
 
 import time
 
 import numpy as np
+import pytest
 
 from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
 from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
@@ -24,6 +29,24 @@ DECODE_BUDGET_SECONDS = 2.0
 
 #: Seconds allowed for the channel stage of one quickstart-sized unit.
 CHANNEL_BUDGET_SECONDS = 0.5
+
+#: Seconds allowed for one batched refinement sweep of a quickstart unit.
+REFINEMENT_BUDGET_SECONDS = 1.5
+
+#: Minimum lead of a batched refiner over its per-cluster reference.
+REFINEMENT_SPEEDUP_FACTOR = 5
+
+
+def quickstart_unit(seed, n_clusters=120, coverage=10, length=68, rate=0.06):
+    """Index-array clusters shaped like the quickstart encoding unit."""
+    rng = np.random.default_rng(seed)
+    model = ErrorModel.uniform(rate)
+    clusters = []
+    for _ in range(n_clusters):
+        original = rng.integers(0, 4, length).astype(np.uint8)
+        clusters.append([model.apply_indices(original, rng)
+                         for _ in range(coverage)])
+    return clusters
 
 
 class TestPerfBudget:
@@ -75,6 +98,79 @@ class TestPerfBudget:
         assert batched < scalar, (
             f"batched scan ({batched:.3f}s) no faster than the per-cluster "
             f"reference ({scalar:.3f}s)"
+        )
+
+    @pytest.mark.slow
+    def test_batched_iterative_refinement_beats_reference(self):
+        """The batched realign-and-vote sweep must lead the frozen
+        per-cluster reference by at least 5x on a quickstart-sized unit
+        (and fit an absolute ceiling). The reference path is the whole
+        per-cluster algorithm — per-read edit DP, Python traceback loops —
+        so only a regression to scalar processing can close the gap."""
+        from repro.consensus import (
+            IterativeReconstructor, ReferenceIterativeReconstructor,
+        )
+
+        clusters = quickstart_unit(seed=1)
+        fast = IterativeReconstructor()
+        fast.reconstruct_many_indices(clusters[:5], 68)  # warm-up
+
+        start = time.perf_counter()
+        batched = fast.reconstruct_many_indices(clusters, 68)
+        batched_seconds = time.perf_counter() - start
+
+        reference = ReferenceIterativeReconstructor()
+        start = time.perf_counter()
+        expected = [reference.reconstruct_indices(reads, 68)
+                    for reads in clusters]
+        reference_seconds = time.perf_counter() - start
+
+        for estimate, want in zip(batched, expected):
+            np.testing.assert_array_equal(estimate, want)
+        assert batched_seconds < REFINEMENT_BUDGET_SECONDS, (
+            f"batched iterative refinement took {batched_seconds:.2f}s; "
+            f"budget is {REFINEMENT_BUDGET_SECONDS:.1f}s"
+        )
+        assert batched_seconds * REFINEMENT_SPEEDUP_FACTOR < reference_seconds, (
+            f"batched iterative ({batched_seconds * 1e3:.0f}ms) is not "
+            f"{REFINEMENT_SPEEDUP_FACTOR}x faster than the per-cluster "
+            f"reference ({reference_seconds * 1e3:.0f}ms)"
+        )
+
+    @pytest.mark.slow
+    def test_batched_posterior_refinement_beats_reference(self):
+        """Same guard for the posterior lattice: the batched
+        ``(reads, positions)`` forward-backward must lead the per-read
+        reference by at least 5x on a quickstart-sized unit."""
+        from repro.consensus import (
+            PosteriorReconstructor, ReferencePosteriorReconstructor,
+        )
+
+        model = ErrorModel.uniform(0.06)
+        clusters = quickstart_unit(seed=2)
+        fast = PosteriorReconstructor(channel=model)
+        fast.reconstruct_many_indices(clusters[:5], 68)  # warm-up
+
+        start = time.perf_counter()
+        batched = fast.reconstruct_many_with_confidence(clusters, 68)
+        batched_seconds = time.perf_counter() - start
+
+        reference = ReferencePosteriorReconstructor(channel=model)
+        start = time.perf_counter()
+        expected = [reference.reconstruct_indices(reads, 68)
+                    for reads in clusters]
+        reference_seconds = time.perf_counter() - start
+
+        for (estimate, _), want in zip(batched, expected):
+            np.testing.assert_array_equal(estimate, want)
+        assert batched_seconds < REFINEMENT_BUDGET_SECONDS, (
+            f"batched posterior refinement took {batched_seconds:.2f}s; "
+            f"budget is {REFINEMENT_BUDGET_SECONDS:.1f}s"
+        )
+        assert batched_seconds * REFINEMENT_SPEEDUP_FACTOR < reference_seconds, (
+            f"batched posterior ({batched_seconds * 1e3:.0f}ms) is not "
+            f"{REFINEMENT_SPEEDUP_FACTOR}x faster than the per-read "
+            f"reference ({reference_seconds * 1e3:.0f}ms)"
         )
 
     def test_channel_stage_within_budget_and_beats_per_read_path(self):
