@@ -20,10 +20,13 @@ baseline* and fails when a tracked stage regressed:
   relative tolerance fails the gate (a silent accuracy change is as much
   a regression as a slow decode).
 
-Usage (what the ``perf-trend`` workflow job runs)::
+Usage (what the ``perf-trend`` workflow job runs; the tracked selection
+spans the consensus-bound figures, the min-coverage sweep, the skew
+figure and the ablation suite)::
 
     cp -r benchmarks/out /tmp/baseline        # committed evidence
-    python -m pytest benchmarks -q -k "fig03 or fig04 or fig05 or fig11"
+    python -m pytest benchmarks -q \
+        -k "fig03 or fig04 or fig05 or fig11 or fig12 or fig_skew or ablation"
     python benchmarks/check_trend.py --baseline /tmp/baseline \
         --fresh benchmarks/out
 

@@ -1,0 +1,90 @@
+"""Skew-scenario figure: ramped positional error rates vs the uniform channel.
+
+The paper evaluates reliability skew under a *uniform* IDS channel — all
+of the positional bias it reports is created by the reconstruction
+algorithms themselves. The `ErrorRateMap` machinery generalizes the
+channel: here the per-position rates ramp linearly along the strand
+(modeling end-of-strand degradation) while a matched-mean uniform channel
+provides the control, and `analysis.positional_confidence_profile` pairs
+each realized error curve with the posterior's per-position confidence.
+Expected shape: under the ramp the error concentrates in the high-rate
+tail well beyond the algorithmic skew of the uniform control, and the
+posterior confidence dips exactly where the injected rate peaks — the
+soft output *sees* the channel skew without being told about it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_series
+from repro.analysis import positional_confidence_profile
+from repro.channel import ErrorModel, ErrorRateMap
+from repro.consensus import PosteriorReconstructor
+
+LENGTH = 120
+BASE_RATE = 0.02
+SLOPE = 6.0  # tail rate = SLOPE x head rate
+MEAN_RATE = BASE_RATE * (1.0 + SLOPE) / 2.0
+COVERAGE = 6
+TRIALS = 150
+BUCKETS = 12
+
+
+def ramped_map():
+    weights = np.linspace(1.0, SLOPE, LENGTH)
+    return ErrorRateMap.scaled(ErrorModel.uniform(BASE_RATE), weights)
+
+
+def run_experiment(trials=TRIALS, rng=2022):
+    """Both scenarios through the fully batched confidence path; the
+    reconstructor's channel prior is the same (matched-mean uniform)
+    model in both runs, so any confidence difference is *observed*, not
+    assumed."""
+    reconstructor = PosteriorReconstructor(
+        channel=ErrorModel.uniform(MEAN_RATE)
+    )
+    uniform_err, uniform_conf = positional_confidence_profile(
+        reconstructor, length=LENGTH,
+        error_model=ErrorModel.uniform(MEAN_RATE),
+        coverage=COVERAGE, trials=trials, rng=rng,
+    )
+    ramp_err, ramp_conf = positional_confidence_profile(
+        reconstructor, length=LENGTH, error_model=ramped_map(),
+        coverage=COVERAGE, trials=trials, rng=rng,
+    )
+    return uniform_err, uniform_conf, ramp_err, ramp_conf
+
+
+def test_fig_skew_profile(benchmark):
+    uniform_err, uniform_conf, ramp_err, ramp_conf = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    width = LENGTH // BUCKETS
+
+    def bucketed(profile):
+        return profile.reshape(BUCKETS, width).mean(axis=1)
+
+    print_series(
+        f"Fig S: ramped-rate skew vs uniform channel "
+        f"(mean P={MEAN_RATE:.0%}, N={COVERAGE}, L={LENGTH})",
+        [f"{width*i}-{width*i+width-1}" for i in range(BUCKETS)],
+        {
+            "err_uniform": bucketed(uniform_err).tolist(),
+            "err_ramp": bucketed(ramp_err).tolist(),
+            "conf_uniform": bucketed(uniform_conf).tolist(),
+            "conf_ramp": bucketed(ramp_conf).tolist(),
+        },
+    )
+    head = slice(0, LENGTH // 3)
+    tail = slice(2 * LENGTH // 3, LENGTH)
+    # The injected ramp dominates the algorithmic skew: error concentrates
+    # in the high-rate tail far beyond the uniform control's own rise.
+    assert ramp_err[tail].mean() > 2 * ramp_err[head].mean()
+    assert ramp_err[tail].mean() > 1.5 * uniform_err[tail].mean()
+    # In the low-rate head the ramp runs *below* the matched-mean uniform
+    # channel — the mean is the same, the mass just moved to the tail.
+    assert ramp_err[head].mean() < uniform_err[head].mean()
+    # The posterior's confidence flags the skew without being told: it
+    # dips in the ramp's tail, below both its own head and the uniform
+    # control at the same positions.
+    assert ramp_conf[tail].mean() < ramp_conf[head].mean()
+    assert ramp_conf[tail].mean() < uniform_conf[tail].mean()

@@ -58,6 +58,31 @@ recursion, returning per-position posterior confidence alongside each
 estimate — both pinned against their frozen per-cluster references by
 the differential suite.
 
+Payloads larger than one encoding unit go through the multi-unit store,
+and the store is the *batching boundary*: encode places, parity-fills
+(one GF matrix product for every codeword of every unit) and renders all
+units' strands in single array passes, and decode runs **one** consensus
+batch call over every surviving cluster of every unit::
+
+    from repro import DnaStore
+
+    store = DnaStore(config)
+    bits = np.random.default_rng(0).integers(
+        0, 2, 3 * store.unit_capacity_bits, dtype=np.uint8)
+    image = store.encode(bits)                           # 3 units, batched
+    batch = simulator.sequence_store(image, rng=0)       # one spanning batch
+    decoded, report = store.decode(batch, bits.size)     # one consensus pass
+    assert report.clean and np.array_equal(decoded, bits)
+
+``sequence_store`` (and ``ReadPool.for_store`` for coverage sweeps) emit
+the units' clusters back to back in one columnar batch;
+``pipeline.receive_many`` then parses the whole estimate stack with
+array operations — index validation, first-claim-wins column assembly
+and confidence-cell extraction, segmented by unit — feeding per-unit RS
+correction. The original one-pipeline-call-per-unit loop survives as
+``DnaStore.decode_units``, the frozen differential reference the batched
+path is pinned byte-identical against.
+
 Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
 ``ReadBatch`` and serves zero-copy coverage prefixes, and
 :class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
@@ -97,6 +122,8 @@ from repro.core import (
     GiniLayout,
     MatrixConfig,
     PipelineConfig,
+    StoreImage,
+    StoreReport,
     identity_ranking,
     oracle_ranking,
     positional_ranking,
@@ -144,6 +171,8 @@ __all__ = [
     "PipelineConfig",
     "DnaStoragePipeline",
     "DnaStore",
+    "StoreImage",
+    "StoreReport",
     "EncodedUnit",
     "DecodeReport",
     "BaselineLayout",

@@ -9,14 +9,17 @@
   per-image quality-loss accounting and the honest staged decode for
   DnaMapper (directory first, then the ranking it implies).
 
-Every retrieval in these harnesses goes through
-:meth:`repro.core.pipeline.DnaStoragePipeline.receive`, which decodes all
-of a unit's clusters in one batched consensus call — the coverage sweeps
-here run hundreds of unit decodes, so they are only tractable because of
-that batch path. The read side is columnar too: one
-:class:`~repro.channel.sequencer.ReadPool` (a single batched-engine call)
-covers all trials of a sweep, and decodes consume zero-copy
-:class:`~repro.channel.readbatch.ReadBatch` slices of it.
+Every retrieval in these harnesses rides the batched consensus engine —
+the coverage sweeps here run hundreds of unit decodes, so they are only
+tractable because of that batch path. The min-coverage searches go one
+level further and batch at the *store plane*: each coverage step
+concatenates every still-unsolved trial's unit into one spanning
+:class:`~repro.channel.readbatch.ReadBatch` and decodes them all through
+a single :meth:`~repro.core.pipeline.DnaStoragePipeline.decode_many`
+call (one consensus pass per step, not per trial). The read side is
+columnar too: one :class:`~repro.channel.sequencer.ReadPool` (a single
+batched-engine call) covers all trials of a sweep, and decodes consume
+zero-copy :class:`~repro.channel.readbatch.ReadBatch` slices of it.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.errors import ErrorModel
+from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadPool
 from repro.core.layout import MatrixConfig
 from repro.core.pipeline import DnaStoragePipeline, PipelineConfig
@@ -66,13 +70,20 @@ def min_coverage_for_error_free(
 ) -> float:
     """Average (over trials) minimum coverage for an exact decode.
 
-    For each trial, a fresh random payload is encoded; *one* read pool
-    covering every trial's strands at the largest requested coverage is
-    generated in a single batched-engine call, and each trial's coverage
-    is scanned upward (nested read sets) until the decode is bit-exact.
-    Decodes consume columnar sub-batches of the pool — no strings, no
-    per-read Python objects anywhere in the sweep. Trials where even the
-    largest coverage fails contribute ``max(coverages) + 1``.
+    For each trial, a fresh random payload is encoded (one batched
+    ``encode_many`` pass over all trials); *one* read pool covering every
+    trial's strands at the largest requested coverage is generated in a
+    single batched-engine call. The search then walks the coverages
+    upward: at each step, *all* still-unsolved trials' units are
+    concatenated into one spanning batch and decoded through a single
+    :meth:`~repro.core.pipeline.DnaStoragePipeline.decode_many` call (one
+    consensus pass for the whole step); trials that decode bit-exact drop
+    out with that coverage as their minimum. Decodes consume columnar
+    sub-batches of the pool — no strings, no per-read Python objects
+    anywhere in the sweep — and per-trial results are identical to
+    decoding each trial on its own (nested read sets make the search
+    order immaterial). Trials where even the largest coverage fails
+    contribute ``max(coverages) + 1``.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -83,31 +94,38 @@ def min_coverage_for_error_free(
     model = ErrorModel.uniform(error_rate)
     n_columns = pipeline.matrix_config.n_columns
     trial_bits: List[np.ndarray] = []
-    all_strands: List[str] = []
     for _ in range(trials):
         if payload_bits is None:
             bits = generator.integers(0, 2, pipeline.capacity_bits).astype(np.uint8)
         else:
             bits = np.asarray(payload_bits, dtype=np.uint8)
         trial_bits.append(bits)
-        all_strands.extend(pipeline.encode(bits).strands)
+    all_strands: List[str] = []
+    for unit in pipeline.encode_many(trial_bits):
+        all_strands.extend(unit.strands)
     pool = ReadPool(all_strands, model, max_coverage=coverages[-1],
                     rng=generator)
-    minima = []
-    for t, bits in enumerate(trial_bits):
-        found = coverages[-1] + 1
-        for coverage in coverages:
-            batch = pool.batch_at(
-                coverage, first_cluster=t * n_columns, n_clusters=n_columns
-            )
-            decoded, report = pipeline.decode(
-                batch, bits.size,
-                extra_erasure_columns=extra_erasure_columns,
-            )
-            if report.clean and np.array_equal(decoded, bits):
-                found = coverage
-                break
-        minima.append(found)
+    minima = np.full(trials, coverages[-1] + 1, dtype=np.int64)
+    remaining = list(range(trials))
+    for coverage in coverages:
+        if not remaining:
+            break
+        spanning = ReadBatch.concat([
+            pool.batch_at(coverage, first_cluster=t * n_columns,
+                          n_clusters=n_columns)
+            for t in remaining
+        ])
+        results = pipeline.decode_many(
+            spanning, [trial_bits[t].size for t in remaining],
+            extra_erasure_columns=extra_erasure_columns,
+        )
+        unsolved = []
+        for t, (decoded, report) in zip(remaining, results):
+            if report.clean and np.array_equal(decoded, trial_bits[t]):
+                minima[t] = coverage
+            else:
+                unsolved.append(t)
+        remaining = unsolved
     return float(np.mean(minima))
 
 

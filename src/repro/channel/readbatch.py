@@ -121,6 +121,59 @@ class ReadBatch:
         )
 
     @classmethod
+    def concat(cls, batches: Sequence["ReadBatch"]) -> "ReadBatch":
+        """Concatenate batches into one spanning batch.
+
+        The pieces' clusters are laid back to back: piece ``p``'s cluster
+        ``c`` becomes cluster ``offset_p + c`` of the result, where
+        ``offset_p`` is the running cluster count — cluster ids are
+        re-based per piece, so the non-decreasing invariant holds by
+        construction. ``source_indices`` are carried over verbatim (they
+        keep identifying strands *within* their originating piece);
+        callers that need global attribution keep the per-piece cluster
+        boundary table ``cumsum([b.n_clusters])`` alongside — this is how
+        :class:`~repro.core.store.DnaStore` maps the spanning batch's
+        clusters back to encoding units.
+
+        Each piece's referenced bases are gathered into a tight buffer
+        (one vectorized pass over the actual reads), so concatenating
+        zero-copy sub-batches of a large pool copies only the selected
+        reads, never the parent buffers.
+        """
+        batches = list(batches)
+        buffers: List[np.ndarray] = []
+        lengths_parts: List[np.ndarray] = []
+        cluster_parts: List[np.ndarray] = []
+        source_parts: List[np.ndarray] = []
+        cluster_offset = 0
+        for batch in batches:
+            total = int(batch.lengths.sum())
+            tight_starts = np.cumsum(batch.lengths) - batch.lengths
+            within = (np.arange(total, dtype=np.int64)
+                      - np.repeat(tight_starts, batch.lengths))
+            src = np.repeat(batch.offsets, batch.lengths) + within
+            buffers.append(batch.buffer[src])
+            lengths_parts.append(batch.lengths)
+            cluster_parts.append(batch.cluster_ids + cluster_offset)
+            source_parts.append(batch.source_indices)
+            cluster_offset += batch.n_clusters
+        if not batches:
+            return cls(
+                np.zeros(0, dtype=np.uint8), np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                n_clusters=0,
+            )
+        lengths = np.concatenate(lengths_parts)
+        return cls(
+            np.concatenate(buffers),
+            np.cumsum(lengths) - lengths,
+            lengths,
+            np.concatenate(cluster_parts),
+            n_clusters=cluster_offset,
+            source_indices=np.concatenate(source_parts),
+        )
+
+    @classmethod
     def from_strings(
         cls,
         clusters: Sequence[Sequence[str]],

@@ -157,6 +157,22 @@ class SequencingSimulator:
         """Produce one :class:`ReadCluster` per input strand (batch views)."""
         return self.sequence_batch(strands, rng).to_clusters()
 
+    def sequence_store(self, image, rng: RngLike = None) -> ReadBatch:
+        """One spanning :class:`ReadBatch` for a whole multi-unit store.
+
+        ``image`` is a :class:`~repro.core.store.StoreImage` (anything
+        with a ``units`` list of ``strands``-bearing objects): every
+        strand of every unit goes through **one** engine call, and the
+        resulting batch lays the units' clusters back to back — cluster
+        slots ``[u * n_columns, (u + 1) * n_columns)`` belong to unit
+        ``u`` — which is exactly the spanning form
+        :meth:`~repro.core.store.DnaStore.decode` consumes whole.
+        """
+        strands = [
+            strand for unit in image.units for strand in unit.strands
+        ]
+        return self.sequence_batch(strands, rng)
+
 
 class ReadPool:
     """A pre-generated pool of noisy reads per strand for coverage sweeps.
@@ -208,6 +224,30 @@ class ReadPool:
             self._weights = generator.gamma(
                 dispersion_shape, 1.0 / dispersion_shape, size=n_strands
             )
+
+    @classmethod
+    def for_store(
+        cls,
+        image,
+        error_model: ErrorModel,
+        max_coverage: int,
+        rng: RngLike = None,
+        dispersion_shape: Optional[float] = None,
+    ) -> "ReadPool":
+        """A pool spanning every strand of a multi-unit store.
+
+        ``image`` is a :class:`~repro.core.store.StoreImage`; the pool
+        holds all units' strands back to back, so ``batch_at(coverage)``
+        emits the spanning :class:`ReadBatch` that
+        :meth:`~repro.core.store.DnaStore.decode` consumes in one pass —
+        multi-unit coverage sweeps stay nested and zero-copy exactly like
+        single-unit ones.
+        """
+        strands = [
+            strand for unit in image.units for strand in unit.strands
+        ]
+        return cls(strands, error_model, max_coverage, rng=rng,
+                   dispersion_shape=dispersion_shape)
 
     def __len__(self) -> int:
         return self._batch.n_clusters

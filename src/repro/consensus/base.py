@@ -88,6 +88,29 @@ class Reconstructor:
             return np.zeros((0, length), dtype=np.int64)
         return np.stack([np.asarray(e, dtype=np.int64) for e in estimates])
 
+    def reconstruct_batch_with_confidence(self, batch, length: int):
+        """Columnar confidence variant: ``(estimate, confidence)`` pairs
+        for a whole :class:`~repro.channel.readbatch.ReadBatch`.
+
+        Only meaningful for reconstructors that expose per-position
+        confidence (``reconstruct_with_confidence``, see
+        :class:`repro.consensus.posterior.PosteriorReconstructor`, which
+        overrides this with a genuinely batched lattice sweep); the
+        default unpacks the batch into zero-copy index lists and rides
+        the best per-cluster confidence entry point available. Calling it
+        on a reconstructor without confidence output raises
+        ``AttributeError``.
+        """
+        index_clusters = batch.clusters_as_indices()
+        if hasattr(self, "reconstruct_many_with_confidence"):
+            return self.reconstruct_many_with_confidence(
+                index_clusters, length
+            )
+        return [
+            self.reconstruct_with_confidence(reads, length)
+            for reads in index_clusters
+        ]
+
 
 def pack_index_clusters(
     clusters: Sequence[Sequence[np.ndarray]],

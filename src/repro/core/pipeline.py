@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadCluster
-from repro.codec.basemap import DirectCodec
+from repro.codec.basemap import DirectCodec, indices_to_bases
 from repro.consensus.base import Reconstructor
 from repro.consensus.two_way import TwoWayReconstructor
 from repro.core.layout import LayoutPolicy, MatrixConfig, build_layout
@@ -130,6 +130,19 @@ class DnaStoragePipeline:
         self._placement = list(self.layout.placement_order())
         if len(self._placement) != config.matrix.data_symbols:
             raise AssertionError("placement order does not cover the data cells")
+        # Index-array form of the placement order and the codeword
+        # geometry: one fancy-indexing gather/scatter replaces every
+        # per-cell Python loop on both the encode and the correct path.
+        placement = np.array(self._placement, dtype=np.int64).reshape(-1, 2)
+        self._placement_rows = placement[:, 0]
+        self._placement_cols = placement[:, 1]
+        cells = np.array(
+            [self.layout.codeword_cells(k)
+             for k in range(self.layout.n_codewords)],
+            dtype=np.int64,
+        )  # (n_codewords, n_columns, 2)
+        self._codeword_rows = cells[:, :, 0]
+        self._codeword_cols = cells[:, :, 1]
 
     # -- encoding -------------------------------------------------------------
 
@@ -143,12 +156,89 @@ class DnaStoragePipeline:
     ) -> EncodedUnit:
         """Encode a bit array (at most ``capacity_bits``) into strands.
 
+        The whole unit is assembled array-native: the data symbols land in
+        the matrix through one placement scatter, every codeword's parity
+        comes from one :meth:`~repro.ecc.reed_solomon.ReedSolomon.
+        parity_many` matrix product, and all columns render to strands in
+        a single bits->bases pass. Output is byte-identical to the
+        per-cell loop encoder (kept as :meth:`encode_loop_reference` and
+        pinned by the differential suite).
+
         Args:
             bits: 0/1 array of payload bits.
             ranking: priority permutation over ``len(bits)`` (see
                 :mod:`repro.core.ranking`); identity when omitted. Padding
                 bits (capacity beyond ``len(bits)``) always rank last.
         """
+        prioritized = self._prioritize(bits, ranking)
+        matrices = self._assemble_matrices(prioritized[None, :])
+        strands = self._render_strands(matrices)
+        return EncodedUnit(
+            strands=strands[0], matrix=matrices[0],
+            n_data_bits=np.asarray(bits).size,
+        )
+
+    def encode_many(self, stripes: Sequence[np.ndarray]) -> List[EncodedUnit]:
+        """Encode several units' payloads in one batched pass.
+
+        ``stripes[u]`` is unit ``u``'s bit array (each at most
+        ``capacity_bits``; identity ranking — multi-unit priority is
+        handled globally by :class:`~repro.core.store.DnaStore` before
+        striping). All units' placement scatters, parity codewords and
+        strand renderings run as single array operations over a
+        ``(n_units, ...)`` stack; per-unit output is byte-identical to
+        calling :meth:`encode` once per stripe.
+        """
+        sizes = []
+        prioritized = np.zeros((len(stripes), self.capacity_bits),
+                               dtype=np.uint8)
+        for u, bits in enumerate(stripes):
+            bits = np.asarray(bits, dtype=np.uint8)
+            if bits.ndim != 1:
+                raise ValueError("bits must be a 1-D array")
+            if bits.size > self.capacity_bits:
+                raise ValueError(
+                    f"{bits.size} bits exceed unit capacity "
+                    f"{self.capacity_bits}"
+                )
+            prioritized[u, : bits.size] = bits
+            sizes.append(bits.size)
+        matrices = self._assemble_matrices(prioritized)
+        strands = self._render_strands(matrices)
+        return [
+            EncodedUnit(strands=strands[u], matrix=matrices[u],
+                        n_data_bits=sizes[u])
+            for u in range(len(stripes))
+        ]
+
+    def encode_loop_reference(
+        self, bits: np.ndarray, ranking: Optional[np.ndarray] = None
+    ) -> EncodedUnit:
+        """The frozen per-cell loop encoder (differential reference).
+
+        Mirrors the :mod:`repro.consensus.reference` pattern: this is the
+        original implementation — placement loop, per-codeword
+        :meth:`_fill_parity`, per-column strand rendering — kept so the
+        batched :meth:`encode` stays pinned byte-identical to it.
+        """
+        prioritized = self._prioritize(bits, ranking)
+        symbols = self._bits_to_symbols(prioritized)
+        config = self.matrix_config
+        matrix = np.zeros((config.payload_rows, config.n_columns), dtype=np.int64)
+        for value, (row, column) in zip(symbols, self._placement):
+            matrix[row, column] = value
+        self._fill_parity(matrix)
+        strands = [
+            self._column_to_strand(matrix, column)
+            for column in range(config.n_columns)
+        ]
+        return EncodedUnit(strands=strands, matrix=matrix,
+                           n_data_bits=np.asarray(bits).size)
+
+    def _prioritize(
+        self, bits: np.ndarray, ranking: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Validate a payload and apply the priority permutation."""
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.ndim != 1:
             raise ValueError("bits must be a 1-D array")
@@ -167,18 +257,71 @@ class DnaStoragePipeline:
         prioritized = np.empty(self.capacity_bits, dtype=np.uint8)
         prioritized[: bits.size] = padded[ranking]
         prioritized[bits.size:] = 0  # padding occupies the weakest positions
+        return prioritized
 
-        symbols = self._bits_to_symbols(prioritized)
+    def _assemble_matrices(self, prioritized: np.ndarray) -> np.ndarray:
+        """Prioritized bit stacks -> fully parity-filled symbol matrices.
+
+        ``prioritized`` is ``(n_units, capacity_bits)``; the result is
+        ``(n_units, payload_rows, n_columns)``. Data symbols land through
+        one placement-index scatter; every unit's every codeword gets its
+        parity from a single :meth:`ReedSolomon.parity_many` call.
+        """
         config = self.matrix_config
-        matrix = np.zeros((config.payload_rows, config.n_columns), dtype=np.int64)
-        for value, (row, column) in zip(symbols, self._placement):
-            matrix[row, column] = value
-        self._fill_parity(matrix)
-        strands = [
-            self._column_to_strand(matrix, column)
-            for column in range(config.n_columns)
+        n_units = prioritized.shape[0]
+        m = config.m
+        grouped = prioritized.reshape(n_units, -1, m).astype(np.int64)
+        weights = 1 << np.arange(m - 1, -1, -1, dtype=np.int64)
+        symbols = grouped @ weights  # (n_units, data_symbols)
+        matrices = np.zeros(
+            (n_units, config.payload_rows, config.n_columns), dtype=np.int64
+        )
+        matrices[:, self._placement_rows, self._placement_cols] = symbols
+        if self._rs is not None:
+            data_columns = config.data_columns
+            messages = matrices[
+                :, self._codeword_rows[:, :data_columns],
+                self._codeword_cols[:, :data_columns],
+            ]  # (n_units, n_codewords, data_columns)
+            parity = self._rs.parity_many(
+                messages.reshape(-1, data_columns)
+            ).reshape(n_units, self.layout.n_codewords, config.nsym)
+            matrices[
+                :, self._codeword_rows[:, data_columns:],
+                self._codeword_cols[:, data_columns:],
+            ] = parity
+        return matrices
+
+    def _render_strands(self, matrices: np.ndarray) -> List[List[str]]:
+        """All columns of all units -> strands, one bits->bases pass.
+
+        Each strand is its column index symbol followed by the column's
+        payload symbols, expanded MSB-first to bits and packed two bits
+        per base (00=A, 01=C, 10=G, 11=T) exactly like
+        :meth:`_column_to_strand`; the only per-strand Python work left
+        is slicing the final ACGT string out of one big decoded buffer.
+        """
+        config = self.matrix_config
+        n_units = matrices.shape[0]
+        n_columns = config.n_columns
+        index_row = np.broadcast_to(
+            np.arange(n_columns, dtype=np.int64), (n_units, 1, n_columns)
+        )
+        values = np.concatenate([index_row, matrices], axis=1)
+        values = values.transpose(0, 2, 1)  # (n_units, n_columns, symbols)
+        shifts = np.arange(config.m - 1, -1, -1, dtype=np.int64)
+        bits = ((values[..., None] >> shifts) & 1).reshape(
+            n_units, n_columns, -1
+        )
+        bases = (2 * bits[:, :, 0::2] + bits[:, :, 1::2]).astype(np.uint8)
+        big = indices_to_bases(bases.reshape(-1))
+        length = config.strand_length
+        return [
+            [big[(u * n_columns + c) * length:
+                 (u * n_columns + c + 1) * length]
+             for c in range(n_columns)]
+            for u in range(n_units)
         ]
-        return EncodedUnit(strands=strands, matrix=matrix, n_data_bits=bits.size)
 
     def _fill_parity(self, matrix: np.ndarray) -> None:
         if self._rs is None:
@@ -277,6 +420,192 @@ class DnaStoragePipeline:
             cell_erasures=cell_erasures,
         )
 
+    def receive_many(
+        self,
+        batch: ReadBatch,
+        unit_boundaries: Optional[np.ndarray] = None,
+        confidence_threshold: Optional[float] = None,
+    ) -> List[ReceivedUnit]:
+        """Consensus + column assembly for *several units* in one pass.
+
+        The store-plane counterpart of :meth:`receive`: ``batch`` spans
+        every cluster of every unit (units back to back, see
+        :meth:`~repro.channel.readbatch.ReadBatch.concat`), the
+        reconstructor's batch entry point runs **once** over all
+        surviving clusters, and the per-estimate index parsing that
+        :meth:`receive` does in a Python loop happens as array operations
+        over the whole estimate stack — base-4 symbol grouping, index
+        validation, first-claim-wins column assembly and confidence-cell
+        extraction, all segmented by unit. Per-unit output is
+        byte-identical to running :meth:`receive` on each unit's clusters
+        (the frozen per-unit path, pinned by the store differential
+        suite).
+
+        Args:
+            batch: one spanning :class:`ReadBatch`; cluster slots
+                ``[unit_boundaries[u], unit_boundaries[u + 1])`` belong to
+                unit ``u``. Lost clusters (zero reads) are dropped before
+                consensus, exactly like :meth:`receive`.
+            unit_boundaries: ``(n_units + 1,)`` non-decreasing cluster
+                boundary table starting at 0 and ending at
+                ``batch.n_clusters``. When omitted, the batch must hold a
+                whole number of ``n_columns``-cluster units.
+            confidence_threshold: as in :meth:`receive`, applied to every
+                unit.
+        """
+        config = self.matrix_config
+        if unit_boundaries is None:
+            n_units, remainder = divmod(batch.n_clusters, config.n_columns)
+            if remainder or n_units == 0:
+                raise ValueError(
+                    f"batch holds {batch.n_clusters} clusters, not a "
+                    f"whole number of {config.n_columns}-cluster units"
+                )
+            unit_boundaries = np.arange(n_units + 1, dtype=np.int64) \
+                * config.n_columns
+        boundaries = np.asarray(unit_boundaries, dtype=np.int64)
+        if (boundaries.ndim != 1 or boundaries.size < 2
+                or boundaries[0] != 0
+                or boundaries[-1] != batch.n_clusters
+                or np.any(np.diff(boundaries) < 0)):
+            raise ValueError(
+                "unit_boundaries must be a non-decreasing table from 0 to "
+                f"batch.n_clusters ({batch.n_clusters})"
+            )
+        n_units = boundaries.size - 1
+        # Unit of every *live* cluster, derived from the slot positions
+        # before the lost clusters are compacted away (drop_lost keeps
+        # cluster order, so estimate i belongs to the i-th live slot).
+        live_slots = np.flatnonzero(batch.coverage_counts() > 0)
+        unit_of_estimate = np.searchsorted(
+            boundaries, live_slots, side="right"
+        ) - 1
+        live = batch.drop_lost()
+        length = config.strand_length
+        use_confidence = (
+            confidence_threshold is not None
+            and hasattr(self.reconstructor, "reconstruct_with_confidence")
+        )
+        confidences: Optional[np.ndarray] = None
+        if use_confidence:
+            results = self.reconstructor.reconstruct_batch_with_confidence(
+                live, length
+            )
+            if results:
+                estimates = np.stack(
+                    [np.asarray(e, dtype=np.int64) for e, _ in results]
+                )
+                confidences = np.stack(
+                    [np.asarray(c, dtype=np.float64) for _, c in results]
+                )
+            else:
+                estimates = np.zeros((0, length), dtype=np.int64)
+                confidences = np.zeros((0, length), dtype=np.float64)
+        else:
+            estimates = np.asarray(
+                self.reconstructor.reconstruct_batch(live, length),
+                dtype=np.int64,
+            )
+
+        # Vectorized counterpart of _parse_indices over the whole stack:
+        # group bases into base-4 big-endian symbols, split off the index.
+        bases_per_symbol = config.m // 2
+        weights = 4 ** np.arange(bases_per_symbol - 1, -1, -1, dtype=np.int64)
+        values = estimates.reshape(
+            estimates.shape[0], length // bases_per_symbol, bases_per_symbol
+        ) @ weights
+        columns = values[:, 0]
+        symbols = values[:, 1:]
+        valid = columns < config.n_columns
+        invalid_counts = np.bincount(
+            unit_of_estimate[~valid], minlength=n_units
+        )
+        # First-claim-wins, segmented by unit: the first *valid* estimate
+        # claiming a (unit, column) key wins (estimates are in cluster
+        # order, matching the reference loop); later claims are
+        # duplicates.
+        valid_rows = np.flatnonzero(valid)
+        keys = (unit_of_estimate[valid_rows] * config.n_columns
+                + columns[valid_rows])
+        _, first_of_key = np.unique(keys, return_index=True)
+        winner_mask = np.zeros(valid_rows.size, dtype=bool)
+        winner_mask[first_of_key] = True
+        winners = valid_rows[winner_mask]
+        duplicate_rows = valid_rows[~winner_mask]
+
+        matrices = np.zeros(
+            (n_units, config.payload_rows, config.n_columns), dtype=np.int64
+        )
+        matrices[unit_of_estimate[winners], :, columns[winners]] = \
+            symbols[winners]
+        filled = np.zeros((n_units, config.n_columns), dtype=bool)
+        filled[unit_of_estimate[winners], columns[winners]] = True
+
+        # Confidence cells of every winning estimate at once: payload rows
+        # whose minimum per-base posterior mass falls under the threshold.
+        if confidences is not None and winners.size:
+            payload = confidences[winners][:, config.index_bases:]
+            per_row = payload[
+                :, : config.payload_rows * bases_per_symbol
+            ].reshape(winners.size, config.payload_rows, bases_per_symbol)
+            low_winner, low_row = np.nonzero(
+                per_row.min(axis=2) < confidence_threshold
+            )
+        else:
+            low_winner = low_row = np.zeros(0, dtype=np.int64)
+        cell_units = unit_of_estimate[winners[low_winner]]
+        cell_columns = columns[winners[low_winner]]
+        duplicate_units = unit_of_estimate[duplicate_rows]
+
+        received = []
+        for u in range(n_units):
+            dup_lo, dup_hi = np.searchsorted(duplicate_units, [u, u + 1])
+            cell_lo, cell_hi = np.searchsorted(cell_units, [u, u + 1])
+            received.append(ReceivedUnit(
+                matrix=matrices[u],
+                erased_columns=[int(c) for c in np.flatnonzero(~filled[u])],
+                duplicate_columns=[
+                    int(c) for c in columns[duplicate_rows[dup_lo:dup_hi]]
+                ],
+                invalid_strands=int(invalid_counts[u]),
+                cell_erasures=[
+                    (int(r), int(c))
+                    for r, c in zip(low_row[cell_lo:cell_hi],
+                                    cell_columns[cell_lo:cell_hi])
+                ],
+            ))
+        return received
+
+    def decode_many(
+        self,
+        batch: ReadBatch,
+        n_data_bits,
+        unit_boundaries: Optional[np.ndarray] = None,
+        ranking: Optional[np.ndarray] = None,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> List[Tuple[np.ndarray, DecodeReport]]:
+        """Decode several units from one spanning batch.
+
+        One :meth:`receive_many` pass (a single consensus batch call over
+        every unit's clusters) feeding per-unit :meth:`correct`.
+        ``n_data_bits`` is a scalar applied to every unit or one value per
+        unit; ``ranking``/``extra_erasure_columns`` apply per unit.
+        Returns one ``(bits, DecodeReport)`` pair per unit.
+        """
+        received = self.receive_many(batch, unit_boundaries)
+        if np.ndim(n_data_bits) == 0:
+            sizes = [int(n_data_bits)] * len(received)
+        else:
+            sizes = [int(size) for size in n_data_bits]
+        if len(sizes) != len(received):
+            raise ValueError(
+                f"expected {len(received)} payload sizes, got {len(sizes)}"
+            )
+        return [
+            self.correct(unit, size, ranking, extra_erasure_columns)
+            for unit, size in zip(received, sizes)
+        ]
+
     def _reconstruct_unit(
         self,
         clusters: Union[Sequence[ReadCluster], ReadBatch],
@@ -291,15 +620,9 @@ class DnaStoragePipeline:
         if isinstance(clusters, ReadBatch):
             live_batch = clusters.drop_lost()
             if use_confidence:
-                if hasattr(self.reconstructor,
-                           "reconstruct_batch_with_confidence"):
-                    results = self.reconstructor.reconstruct_batch_with_confidence(
-                        live_batch, length
-                    )
-                else:
-                    results = self._confidence_ladder(
-                        live_batch.clusters_as_indices(), length
-                    )
+                results = self.reconstructor.reconstruct_batch_with_confidence(
+                    live_batch, length
+                )
                 return ([e for e, _ in results], [c for _, c in results])
             estimates = self.reconstructor.reconstruct_batch(
                 live_batch, length
@@ -396,11 +719,23 @@ class DnaStoragePipeline:
                 (int(r), int(c)) for r, c in received.cell_erasures
                 if c not in erased_set
             }
+            data_columns = config.data_columns
+            # All codewords' symbols in one gather, erased positions
+            # zeroed, syndromes batched: codewords that come back all-zero
+            # (and carry no advisory soft erasures) decode on the fast
+            # path below — byte-identical to what the scalar decoder's
+            # clean early-return produces — and only the dirty remainder
+            # pays for Berlekamp-Massey.
+            words = matrix[self._codeword_rows, self._codeword_cols]
+            erased_mask = np.zeros(config.n_columns, dtype=bool)
+            erased_mask[erased] = True
+            zero_mask = erased_mask[self._codeword_cols]
+            zeroed = np.where(zero_mask, 0, words)
+            clean = ~np.any(self._rs.syndromes_many(zeroed) != 0, axis=1)
+            n_erasures = zero_mask.sum(axis=1)
             for k in range(self.layout.n_codewords):
-                cells = self.layout.codeword_cells(k)
-                word = np.array([matrix[r, c] for r, c in cells], dtype=np.int64)
                 erasure_positions = [
-                    j for j, (_, c) in enumerate(cells) if c in erased_set
+                    int(j) for j in np.flatnonzero(zero_mask[k])
                 ]
                 # Low-confidence cells are *advisory* erasures: include
                 # them while they fit the budget, and fall back to the
@@ -408,22 +743,36 @@ class DnaStoragePipeline:
                 # a wrong confidence flag must never lose a codeword that
                 # plain decoding would have saved.
                 soft_positions = [
-                    j for j, cell in enumerate(cells)
-                    if cell in cell_erasure_set
-                ]
+                    j for j, cell in enumerate(
+                        zip(self._codeword_rows[k], self._codeword_cols[k])
+                    )
+                    if (int(cell[0]), int(cell[1])) in cell_erasure_set
+                ] if cell_erasure_set else []
+                if not soft_positions:
+                    if n_erasures[k] > self._rs.nsym:
+                        failed.append(k)
+                        continue
+                    if clean[k]:
+                        corrected += int(n_erasures[k])
+                        matrix[self._codeword_rows[k, :data_columns],
+                               self._codeword_cols[k, :data_columns]] = \
+                            zeroed[k, : self._rs.k]
+                        continue
                 budget = self._rs.nsym - len(erasure_positions)
                 augmented = erasure_positions + soft_positions[:max(budget, 0)]
                 try:
-                    message, n_fixed = self._rs.decode(word, augmented)
+                    message, n_fixed = self._rs.decode(words[k], augmented)
                 except DecodeFailure:
                     try:
-                        message, n_fixed = self._rs.decode(word, erasure_positions)
+                        message, n_fixed = self._rs.decode(
+                            words[k], erasure_positions
+                        )
                     except DecodeFailure:
                         failed.append(k)
                         continue
                 corrected += n_fixed
-                for value, (row, col) in zip(message, cells[: config.data_columns]):
-                    matrix[row, col] = value
+                matrix[self._codeword_rows[k, :data_columns],
+                       self._codeword_cols[k, :data_columns]] = message
         report = DecodeReport(
             erased_columns=erased,
             failed_codewords=failed,
@@ -448,7 +797,7 @@ class DnaStoragePipeline:
         """
         matrix, report = self.correct_matrix(received, extra_erasure_columns)
         prioritized = self._symbols_to_bits(
-            np.array([matrix[r, c] for r, c in self._placement], dtype=np.int64)
+            matrix[self._placement_rows, self._placement_cols]
         )
         bits = self._unrank(prioritized, n_data_bits, ranking)
         return bits, report
@@ -474,7 +823,7 @@ class DnaStoragePipeline:
         """
         matrix = getattr(received_or_matrix, "matrix", received_or_matrix)
         return self._symbols_to_bits(
-            np.array([matrix[r, c] for r, c in self._placement], dtype=np.int64)
+            np.asarray(matrix)[self._placement_rows, self._placement_cols]
         )
 
     def unrank_bits(

@@ -10,21 +10,40 @@ of Section 2.1). :class:`DnaStore` handles the split:
   every priority class (unit 0 does not hoard all the important bits —
   a lost unit then degrades all files proportionally, mirroring the
   paper's multi-file fairness heuristic at the unit level);
-* each unit is an independent :class:`DnaStoragePipeline` encode, so all
-  layout policies work unchanged;
-* decoding accepts per-unit cluster lists and reassembles the stripes.
+* all units encode through one batched
+  :meth:`~repro.core.pipeline.DnaStoragePipeline.encode_many` pass, so
+  layout policies work unchanged while placement, parity and strand
+  rendering run as single array operations across the whole store;
+* decoding is the store's batching boundary: one spanning
+  :class:`~repro.channel.readbatch.ReadBatch` (units back to back, see
+  :meth:`ReadBatch.concat` and ``SequencingSimulator.sequence_store``)
+  goes through **one** consensus batch call and one vectorized
+  :meth:`~repro.core.pipeline.DnaStoragePipeline.receive_many` pass
+  covering every surviving cluster of every unit, feeding per-unit RS
+  correction. The original per-unit loop survives as
+  :meth:`DnaStore.decode_units` — the frozen differential reference,
+  pinned byte-identical by ``tests/core/test_store_batched.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadCluster
 from repro.consensus.base import Reconstructor
 from repro.core.pipeline import DecodeReport, DnaStoragePipeline, EncodedUnit, PipelineConfig
+
+#: Anything :meth:`DnaStore.decode` can consume: one spanning batch, one
+#: batch or cluster list per unit.
+StoreReads = Union[
+    ReadBatch,
+    Sequence[ReadBatch],
+    Sequence[Sequence[ReadCluster]],
+]
 
 
 @dataclass
@@ -110,41 +129,86 @@ class DnaStore:
             prioritized = bits[ranking]
 
         n_units = self.units_needed(bits.size)
-        units = []
-        for u in range(n_units):
-            stripe = prioritized[u::n_units]
-            units.append(self.pipeline.encode(stripe))
-        return StoreImage(units=units, n_data_bits=bits.size)
-
+        stripes = [prioritized[u::n_units] for u in range(n_units)]
+        return StoreImage(
+            units=self.pipeline.encode_many(stripes), n_data_bits=bits.size
+        )
 
     def decode(
         self,
-        clusters_per_unit: Sequence[Sequence[ReadCluster]],
+        reads: StoreReads,
         n_data_bits: int,
         ranking: Optional[np.ndarray] = None,
+        confidence_threshold: Optional[float] = None,
     ):
-        """Decode per-unit clusters back into the payload bits.
+        """Decode a whole store's reads back into the payload bits.
+
+        The store is the batching boundary: whatever form the reads
+        arrive in, they are normalized into one spanning
+        :class:`~repro.channel.readbatch.ReadBatch` (units back to back)
+        and decoded through a **single** consensus batch call plus one
+        vectorized :meth:`~repro.core.pipeline.DnaStoragePipeline.
+        receive_many` pass over every surviving cluster of every unit;
+        only the RS correction runs per unit. Output is byte-identical to
+        the frozen per-unit loop (:meth:`decode_units`).
 
         Args:
-            clusters_per_unit: one cluster list per unit, in unit order.
+            reads: one spanning :class:`ReadBatch` covering all units
+                (what ``SequencingSimulator.sequence_store`` or
+                ``ReadPool.for_store(...).batch_at`` emit), or one
+                :class:`ReadBatch` per unit, or one
+                :class:`ReadCluster` list per unit.
             n_data_bits: payload size stored at encode time.
             ranking: the same global permutation used at encode time.
+            confidence_threshold: when set (and the reconstructor exposes
+                confidence output), low-confidence payload cells become
+                advisory RS erasures, as in
+                :meth:`~repro.core.pipeline.DnaStoragePipeline.receive`.
 
         Returns:
             ``(bits, StoreReport)``.
         """
         n_units = self.units_needed(n_data_bits)
-        if len(clusters_per_unit) != n_units:
-            raise ValueError(
-                f"expected clusters for {n_units} units, got {len(clusters_per_unit)}"
+        batch, boundaries = self._spanning_batch(reads, n_units)
+        received = self.pipeline.receive_many(
+            batch, boundaries, confidence_threshold=confidence_threshold
+        )
+        return self._correct_units(received, n_data_bits, ranking)
+
+    def decode_units(
+        self,
+        reads: StoreReads,
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+        confidence_threshold: Optional[float] = None,
+    ):
+        """Frozen per-unit reference decode (one pipeline pass per unit).
+
+        The original store decode loop, kept — like the per-cluster
+        reconstructors in :mod:`repro.consensus.reference` — as the
+        differential baseline the batched :meth:`decode` is pinned
+        against. Accepts the same input forms and returns byte-identical
+        results; it is simply N reconstructor calls instead of one.
+        """
+        n_units = self.units_needed(n_data_bits)
+        received = [
+            self.pipeline.receive(
+                unit_reads, confidence_threshold=confidence_threshold
             )
+            for unit_reads in self._per_unit_reads(reads, n_units)
+        ]
+        return self._correct_units(received, n_data_bits, ranking)
+
+    def _correct_units(self, received, n_data_bits, ranking):
+        """Per-unit RS correction + stripe reassembly (shared tail)."""
+        n_units = self.units_needed(n_data_bits)
         stripe_sizes = [
             len(range(u, n_data_bits, n_units)) for u in range(n_units)
         ]
         prioritized = np.zeros(n_data_bits, dtype=np.uint8)
         reports = []
-        for u, clusters in enumerate(clusters_per_unit):
-            stripe, report = self.pipeline.decode(clusters, stripe_sizes[u])
+        for u, unit in enumerate(received):
+            stripe, report = self.pipeline.correct(unit, stripe_sizes[u])
             prioritized[u::n_units] = stripe
             reports.append(report)
         if ranking is None:
@@ -156,3 +220,52 @@ class DnaStore:
             bits = np.zeros(n_data_bits, dtype=np.uint8)
             bits[ranking] = prioritized
         return bits, StoreReport(unit_reports=reports)
+
+    def _spanning_batch(
+        self, reads: StoreReads, n_units: int
+    ) -> Tuple[ReadBatch, np.ndarray]:
+        """Normalize any accepted input form into ``(batch, boundaries)``.
+
+        ``boundaries`` is the per-unit cluster boundary table
+        (``boundaries[u] .. boundaries[u+1]`` are unit ``u``'s cluster
+        slots in the spanning batch).
+        """
+        if isinstance(reads, ReadBatch):
+            n_columns = self._validate_spanning(reads, n_units)
+            boundaries = np.arange(n_units + 1, dtype=np.int64) * n_columns
+            return reads, boundaries
+        per_unit = [
+            unit if isinstance(unit, ReadBatch)
+            else ReadBatch.from_clusters(unit)
+            for unit in self._per_unit_reads(reads, n_units)
+        ]
+        counts = np.array([batch.n_clusters for batch in per_unit],
+                          dtype=np.int64)
+        boundaries = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        return ReadBatch.concat(per_unit), boundaries
+
+    def _per_unit_reads(self, reads: StoreReads, n_units: int) -> List:
+        """Split any accepted input form into per-unit pieces."""
+        if isinstance(reads, ReadBatch):
+            n_columns = self._validate_spanning(reads, n_units)
+            return [
+                reads.select_clusters(u * n_columns, (u + 1) * n_columns)
+                for u in range(n_units)
+            ]
+        if len(reads) != n_units:
+            raise ValueError(
+                f"expected clusters for {n_units} units, got {len(reads)}"
+            )
+        return list(reads)
+
+    def _validate_spanning(self, batch: ReadBatch, n_units: int) -> int:
+        """Check a spanning batch's cluster count; returns ``n_columns``."""
+        n_columns = self.pipeline.matrix_config.n_columns
+        if batch.n_clusters != n_units * n_columns:
+            raise ValueError(
+                f"spanning batch holds {batch.n_clusters} clusters; "
+                f"expected {n_units} units x {n_columns} columns"
+            )
+        return n_columns

@@ -61,6 +61,10 @@ class ReedSolomon:
         self._inv_roots = np.array(
             [self.field.alpha_pow(-int(d)) for d in degrees], dtype=np.int64
         )
+        # Lazy caches for the batched entry points (parity_many /
+        # syndromes_many); built on first use, never for decode-only codes.
+        self._parity_bits: Optional[np.ndarray] = None
+        self._syndrome_points: Optional[np.ndarray] = None
 
     def _build_generator(self) -> np.ndarray:
         """g(x) = prod_{j=0}^{nsym-1} (x - alpha^j), descending coefficients."""
@@ -92,6 +96,85 @@ class ReedSolomon:
     def parity(self, message: Sequence[int]) -> np.ndarray:
         """Return only the ``nsym`` parity symbols for ``message``."""
         return self.encode(message)[self.k:]
+
+    def _parity_generator_rows(self) -> np.ndarray:
+        """The systematic parity map as a ``(k, nsym)`` matrix over GF(2^m).
+
+        Row ``i`` holds the parity of the unit message ``e_i``, i.e. the
+        (descending) coefficients of ``x^(n-1-i) mod g(x)``. Built
+        iteratively from degree ``nsym`` upward — each step multiplies the
+        running remainder by ``x`` and reduces by ``g`` — so the whole
+        matrix costs ``k`` vectorized O(nsym) steps, not ``k`` polynomial
+        divisions.
+        """
+        low = self._generator[1:].copy()  # x^nsym mod g (g is monic)
+        rows = np.empty((self.k, self.nsym), dtype=np.int64)
+        remainder = low
+        rows[self.k - 1] = remainder
+        for degree in range(self.nsym + 1, self.n):
+            lead = int(remainder[0])
+            remainder = np.concatenate(
+                [remainder[1:], np.zeros(1, dtype=np.int64)]
+            )
+            if lead:
+                remainder = remainder ^ self.field.scale_vec(low, lead)
+            rows[self.n - 1 - degree] = remainder
+        return rows
+
+    def _parity_bit_matrix(self) -> np.ndarray:
+        """Bit-plane expansion of the parity generator matrix.
+
+        GF(2^m) multiplication is GF(2)-linear in the bits of either
+        operand (``a * c = XOR over set bits t of a of (x^t * c)``), so the
+        whole batched parity computation collapses to *one* 0/1 integer
+        matrix product: bit ``s`` of ``parity[b, j]`` is the mod-2 count of
+        ``message`` bits hitting generator entries whose ``x^t``-scaled
+        value has bit ``s`` set. The returned matrix W has shape
+        ``(k * m, nsym * m)`` with ``W[i*m + t, j*m + s] = bit_s(x^t *
+        G[i, j])``, stored as float64 so the product runs through BLAS.
+        """
+        if self._parity_bits is None:
+            rows = self._parity_generator_rows()
+            shifts = np.arange(self.m, dtype=np.int64)
+            bits = np.empty((self.k, self.m, self.nsym, self.m),
+                            dtype=np.float64)
+            for t in range(self.m):
+                scaled = self.field.scale_vec(rows, 1 << t)
+                bits[:, t, :, :] = (scaled[:, :, None] >> shifts) & 1
+            self._parity_bits = bits.reshape(self.k * self.m,
+                                             self.nsym * self.m)
+        return self._parity_bits
+
+    def parity_many(self, messages: np.ndarray) -> np.ndarray:
+        """Parity symbols of many messages as one GF matrix product.
+
+        ``messages`` is ``(B, k)``; the result is ``(B, nsym)``, row-wise
+        identical to :meth:`parity`. The systematic parity map is linear
+        over GF(2^m), so the batch reduces to ``messages @ G_parity``,
+        evaluated as a single bit-plane 0/1 matrix product (see
+        :meth:`_parity_bit_matrix`) followed by a mod-2 reduction and bit
+        re-packing — no per-codeword polynomial division.
+        """
+        messages = np.asarray(messages, dtype=np.int64)
+        if messages.ndim != 2 or messages.shape[1] != self.k:
+            raise ValueError(
+                f"messages must be (B, {self.k}), got {messages.shape}"
+            )
+        if messages.size and (messages.min() < 0
+                              or messages.max() > self.field.max_value):
+            raise ValueError("message symbols out of field range")
+        if messages.shape[0] == 0:
+            return np.zeros((0, self.nsym), dtype=np.int64)
+        shifts = np.arange(self.m, dtype=np.int64)
+        message_bits = ((messages[:, :, None] >> shifts) & 1).reshape(
+            messages.shape[0], self.k * self.m
+        ).astype(np.float64)
+        # Bit counts stay far below 2^53, so the float64 product is exact.
+        counts = message_bits @ self._parity_bit_matrix()
+        parity_bits = (counts.astype(np.int64) & 1).reshape(
+            messages.shape[0], self.nsym, self.m
+        )
+        return (parity_bits << shifts).sum(axis=2)
 
     # -- decoding ------------------------------------------------------------
 
@@ -153,6 +236,57 @@ class ReedSolomon:
         if np.any(self._syndromes(word)):
             raise DecodeFailure("residual syndromes after correction")
         return word[: self.k], degree
+
+    def _syndrome_bit_matrix(self) -> np.ndarray:
+        """Bit-plane expansion of the syndrome map (see
+        :meth:`_parity_bit_matrix` for the construction): ``S_j =
+        sum_i word[i] * alpha^(j * (n-1-i))`` is GF-linear in the word,
+        so all syndromes of all words reduce to one 0/1 matrix product.
+        Shape ``(n * m, nsym * m)`` with ``V[i*m + t, j*m + s] =
+        bit_s(x^t * alpha^(j*(n-1-i)))``, stored float64 for BLAS.
+        """
+        if self._syndrome_points is None:
+            powers = np.array(
+                [[self.field.alpha_pow(j * (self.n - 1 - i))
+                  for j in range(self.nsym)] for i in range(self.n)],
+                dtype=np.int64,
+            )  # (n, nsym)
+            shifts = np.arange(self.m, dtype=np.int64)
+            bits = np.empty((self.n, self.m, self.nsym, self.m),
+                            dtype=np.float64)
+            for t in range(self.m):
+                scaled = self.field.scale_vec(powers, 1 << t)
+                bits[:, t, :, :] = (scaled[:, :, None] >> shifts) & 1
+            self._syndrome_points = bits.reshape(self.n * self.m,
+                                                 self.nsym * self.m)
+        return self._syndrome_points
+
+    def syndromes_many(self, words: np.ndarray) -> np.ndarray:
+        """Syndromes of many received words as one GF matrix product.
+
+        ``words`` is ``(B, n)``; the result is ``(B, nsym)``, row-wise
+        identical to the scalar syndrome computation inside
+        :meth:`decode`. Like :meth:`parity_many`, the GF-linear map runs
+        as a single bit-plane 0/1 matrix product (mod-2 reduced and
+        re-packed), so checking a whole store's codewords costs one BLAS
+        call instead of ``B * n`` scalar field operations. A word is a
+        valid codeword exactly when its syndrome row is all zero.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"words must be (B, {self.n}), got {words.shape}")
+        if words.size and (words.min() < 0
+                           or words.max() > self.field.max_value):
+            raise ValueError("word symbols out of field range")
+        shifts = np.arange(self.m, dtype=np.int64)
+        word_bits = ((words[:, :, None] >> shifts) & 1).reshape(
+            words.shape[0], self.n * self.m
+        ).astype(np.float64)
+        counts = word_bits @ self._syndrome_bit_matrix()
+        syndrome_bits = (counts.astype(np.int64) & 1).reshape(
+            words.shape[0], self.nsym, self.m
+        )
+        return (syndrome_bits << shifts).sum(axis=2)
 
     def check(self, word: Sequence[int]) -> bool:
         """Return True if ``word`` is a valid codeword (all syndromes zero)."""

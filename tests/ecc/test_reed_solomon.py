@@ -210,3 +210,56 @@ class TestOtherFields:
         word[70:73] = 0
         decoded, _ = codec.decode(word, erasures=erasures)
         np.testing.assert_array_equal(decoded, message)
+
+
+class TestBatchedEntryPoints:
+    """parity_many / syndromes_many: one GF matrix product, row-wise
+    identical to the scalar paths."""
+
+    @pytest.mark.parametrize("m,nsym,n", [(8, 8, 40), (8, 47, 255),
+                                          (4, 5, 15), (16, 12, 100)])
+    def test_parity_many_matches_parity(self, m, nsym, n, rng):
+        codec = ReedSolomon(m, nsym=nsym, n=n)
+        messages = rng.integers(0, 1 << m, size=(9, codec.k))
+        batched = codec.parity_many(messages)
+        for row, message in zip(batched, messages):
+            np.testing.assert_array_equal(row, codec.parity(message))
+
+    def test_parity_many_rows_are_codewords(self, rng):
+        codec = ReedSolomon(8, nsym=8, n=40)
+        messages = rng.integers(0, 256, size=(5, codec.k))
+        parity = codec.parity_many(messages)
+        for message, p in zip(messages, parity):
+            assert codec.check(np.concatenate([message, p]))
+
+    def test_parity_many_empty_and_validation(self, rng):
+        codec = ReedSolomon(8, nsym=8, n=40)
+        assert codec.parity_many(np.zeros((0, codec.k))).shape == (0, 8)
+        with pytest.raises(ValueError):
+            codec.parity_many(np.zeros((2, codec.k + 1)))
+        with pytest.raises(ValueError):
+            codec.parity_many(np.full((2, codec.k), 256))
+
+    @pytest.mark.parametrize("m,nsym,n", [(8, 8, 40), (16, 12, 100)])
+    def test_syndromes_many_matches_scalar(self, m, nsym, n, rng):
+        codec = ReedSolomon(m, nsym=nsym, n=n)
+        words = rng.integers(0, 1 << m, size=(7, n))
+        batched = codec.syndromes_many(words)
+        for row, word in zip(batched, words):
+            np.testing.assert_array_equal(row, codec._syndromes(word))
+
+    def test_syndromes_many_zero_iff_codeword(self, rng):
+        codec = ReedSolomon(8, nsym=8, n=40)
+        clean = codec.encode(rng.integers(0, 256, codec.k))
+        dirty = clean.copy()
+        dirty[3] ^= 17
+        syndromes = codec.syndromes_many(np.stack([clean, dirty]))
+        assert not syndromes[0].any()
+        assert syndromes[1].any()
+
+    def test_syndromes_many_validation(self):
+        codec = ReedSolomon(8, nsym=8, n=40)
+        with pytest.raises(ValueError):
+            codec.syndromes_many(np.zeros((2, 41)))
+        with pytest.raises(ValueError):
+            codec.syndromes_many(np.full((2, 40), 256))

@@ -13,7 +13,10 @@ regresses to per-copy Python loops. The refinement stages (iterative
 realign-and-vote, posterior lattice) carry the same style of guard: the
 batched sweeps must lead their frozen per-cluster references by at least
 5x on a quickstart-sized unit (measured ~10x for both on the development
-machine), plus an absolute ceiling.
+machine), plus an absolute ceiling. The store plane gets the same
+treatment: one spanning decode of a 32-unit payload must issue exactly
+one reconstructor batch call and lead the frozen per-unit loop
+(``DnaStore.decode_units``) by at least 3x.
 """
 
 import time
@@ -23,9 +26,17 @@ import pytest
 
 from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
 from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
+from repro.core.store import DnaStore
 
 #: Seconds allowed for one small-unit decode (receive + RS correction).
 DECODE_BUDGET_SECONDS = 2.0
+
+#: Seconds allowed for one batched store-plane decode of the many-unit
+#: perf configuration below.
+STORE_DECODE_BUDGET_SECONDS = 0.5
+
+#: Minimum lead of the one-pass store decode over the per-unit reference.
+STORE_SPEEDUP_FACTOR = 3
 
 #: Seconds allowed for the channel stage of one quickstart-sized unit.
 CHANNEL_BUDGET_SECONDS = 0.5
@@ -171,6 +182,66 @@ class TestPerfBudget:
             f"batched posterior ({batched_seconds * 1e3:.0f}ms) is not "
             f"{REFINEMENT_SPEEDUP_FACTOR}x faster than the per-read "
             f"reference ({reference_seconds * 1e3:.0f}ms)"
+        )
+
+    def test_store_decode_one_batch_call_and_beats_per_unit_reference(self):
+        """The store plane is the batching boundary: decoding a many-unit
+        payload must issue exactly *one* reconstructor batch call, return
+        bits byte-identical to the frozen per-unit loop
+        (``DnaStore.decode_units``), and lead it by at least 3x (measured
+        ~4.5x on the development machine). Many small units make the
+        per-call overhead the reference pays 32 times the dominant cost —
+        only a regression of the spanning path back to per-unit
+        processing can close the gap."""
+        from repro.consensus import TwoWayReconstructor
+
+        calls = []
+
+        class CountingTwoWay(TwoWayReconstructor):
+            def reconstruct_batch(self, batch, length):
+                calls.append(batch.n_clusters)
+                return super().reconstruct_batch(batch, length)
+
+        matrix = MatrixConfig(m=8, n_columns=24, nsym=4, payload_rows=6)
+        store = DnaStore(PipelineConfig(matrix=matrix),
+                         reconstructor=CountingTwoWay())
+        rng = np.random.default_rng(11)
+        n_units = 32
+        bits = rng.integers(
+            0, 2, n_units * store.unit_capacity_bits - 17
+        ).astype(np.uint8)
+        image = store.encode(bits)
+        assert image.n_units == n_units
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.01), FixedCoverage(5)
+        )
+        batch = simulator.sequence_store(image, rng=1)
+        store.decode(batch, bits.size)  # warm-up
+
+        calls.clear()
+        start = time.perf_counter()
+        decoded, report = store.decode(batch, bits.size)
+        batched_seconds = time.perf_counter() - start
+        assert len(calls) == 1, (
+            f"store decode issued {len(calls)} reconstructor batch calls; "
+            f"the store plane must batch them into one"
+        )
+
+        start = time.perf_counter()
+        expected, expected_report = store.decode_units(batch, bits.size)
+        reference_seconds = time.perf_counter() - start
+
+        np.testing.assert_array_equal(decoded, expected)
+        np.testing.assert_array_equal(decoded, bits)
+        assert report.clean
+        assert batched_seconds < STORE_DECODE_BUDGET_SECONDS, (
+            f"store decode took {batched_seconds:.2f}s; budget is "
+            f"{STORE_DECODE_BUDGET_SECONDS:.1f}s"
+        )
+        assert batched_seconds * STORE_SPEEDUP_FACTOR < reference_seconds, (
+            f"one-pass store decode ({batched_seconds * 1e3:.0f}ms) is not "
+            f"{STORE_SPEEDUP_FACTOR}x faster than the per-unit reference "
+            f"({reference_seconds * 1e3:.0f}ms)"
         )
 
     def test_channel_stage_within_budget_and_beats_per_read_path(self):
