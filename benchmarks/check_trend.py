@@ -22,11 +22,12 @@ baseline* and fails when a tracked stage regressed:
 
 Usage (what the ``perf-trend`` workflow job runs; the tracked selection
 spans the consensus-bound figures, the min-coverage sweep, the skew
-figure and the ablation suite)::
+figure, the unlabeled-pool clustering figure and the ablation suite)::
 
     cp -r benchmarks/out /tmp/baseline        # committed evidence
     python -m pytest benchmarks -q \
-        -k "fig03 or fig04 or fig05 or fig11 or fig12 or fig_skew or ablation"
+        -k "fig03 or fig04 or fig05 or fig11 or fig12 or fig_skew \
+            or fig_clustering or ablation"
     python benchmarks/check_trend.py --baseline /tmp/baseline \
         --fresh benchmarks/out
 

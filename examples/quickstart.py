@@ -135,6 +135,25 @@ def main() -> None:
           f"pass: exact={bool(np.array_equal(decoded, payload))} "
           f"clean={report.clean} in {store_ms:.0f}ms")
 
+    # Finally, drop the simulation's perfect cluster labels entirely —
+    # the workload the paper assumes solved upstream. `labeled=False`
+    # keeps one shuffled read pool per unit (units are separately
+    # amplifiable pools; strand attribution inside a pool is gone), and
+    # `decode_pool` recovers the clusters on the columnar plane with the
+    # batched greedy clusterer (q-gram signatures in one pass, a stacked
+    # banded edit-DP per cluster round — assignment-identical to the
+    # string-plane GreedyClusterer at ~30x its speed), then decodes all
+    # recovered clusters of all units through the same one-pass
+    # receive_many as labeled reads.
+    pool = simulator.sequence_store(image, rng, labeled=False)
+    start = time.perf_counter()
+    decoded, report = store.decode_pool(pool, payload.size)
+    pool_ms = 1000 * (time.perf_counter() - start)
+    print(f"unlabeled-pool decode: {pool.n_reads} untagged reads in "
+          f"{image.n_units} pools -> cluster + decode: "
+          f"exact={bool(np.array_equal(decoded, payload))} "
+          f"clean={report.clean} in {pool_ms:.0f}ms")
+
 
 if __name__ == "__main__":
     main()

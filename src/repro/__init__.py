@@ -83,6 +83,27 @@ correction. The original one-pipeline-call-per-unit loop survives as
 ``DnaStore.decode_units``, the frozen differential reference the batched
 path is pinned byte-identical against.
 
+Reads do not need ground-truth cluster labels anymore: the clustering
+subsystem runs on the same columnar plane, so the realistic workload —
+an unlabeled sequencing pool — decodes end to end::
+
+    pool = simulator.sequence_store(image, rng=0, labeled=False)
+    decoded, report = store.decode_pool(pool, bits.size)
+    assert report.clean and np.array_equal(decoded, bits)
+
+``labeled=False`` keeps one shuffled read pool per encoding unit (units
+are separately amplifiable; strand attribution within a unit is what
+sequencing does not provide), and ``decode_pool`` recovers the clusters
+with :class:`~repro.cluster.BatchedGreedyClusterer` — q-gram signatures
+for the whole pool in one pass over the flat base buffer, one stacked
+banded edit-distance sweep per cluster round, assignments *identical* to
+the string-plane greedy clusterer (pinned against the frozen original in
+``repro.cluster.reference``) at ~30x its speed on the quickstart pool —
+then feeds the recovered clusters through the same single
+``receive_many`` pass as labeled reads; each consensus strand names its
+column via the embedded index field. The same path exists per unit as
+``pipeline.decode_pool(batch.pooled(rng=...), ...)``.
+
 Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
 ``ReadBatch`` and serves zero-copy coverage prefixes, and
 :class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
@@ -103,6 +124,11 @@ from repro.channel import (
     SequencingSimulator,
     SynthesisSimulator,
     TwoStageSequencer,
+)
+from repro.cluster import (
+    BatchedGreedyClusterer,
+    GreedyClusterer,
+    pair_precision_recall,
 )
 from repro.codec import DirectCodec, RotationCodec
 from repro.consensus import (
@@ -157,6 +183,10 @@ __all__ = [
     "SequencingSimulator",
     "SynthesisSimulator",
     "TwoStageSequencer",
+    # clustering
+    "GreedyClusterer",
+    "BatchedGreedyClusterer",
+    "pair_precision_recall",
     # codecs
     "DirectCodec",
     "RotationCodec",

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.codec.basemap import bases_to_indices, indices_to_bases
+from repro.utils.rng import RngLike, ensure_rng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.channel.sequencer import ReadCluster
@@ -321,6 +322,66 @@ class ReadBatch:
             np.repeat(np.arange(self.n_clusters, dtype=np.int64), counts),
             n_clusters=self.n_clusters,
             source_indices=self.source_indices,
+        )
+
+    def group_rows(self, group_boundaries: np.ndarray) -> np.ndarray:
+        """Validate a cluster-granular boundary table; return row bounds.
+
+        ``group_boundaries`` partitions the clusters into consecutive
+        groups (``[b[g], b[g + 1])`` is group ``g``); the returned table
+        holds the corresponding read-row bounds — group ``g`` owns rows
+        ``[rows[g], rows[g + 1])``. The shared validation/translation
+        for every consumer of such tables (:meth:`pooled`,
+        ``BatchedGreedyClusterer.cluster_pools``).
+        """
+        boundaries = np.asarray(group_boundaries, dtype=np.int64)
+        if (boundaries.ndim != 1 or boundaries.size < 1
+                or boundaries[0] != 0 or boundaries[-1] != self.n_clusters
+                or np.any(np.diff(boundaries) < 0)):
+            raise ValueError(
+                "group boundaries must be a non-decreasing table from 0 "
+                f"to n_clusters ({self.n_clusters})"
+            )
+        return self._starts[boundaries]
+
+    def pooled(
+        self,
+        group_boundaries: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> "ReadBatch":
+        """Merge groups of clusters into single *unlabeled pool* clusters.
+
+        ``group_boundaries`` is a cluster-granular table (like
+        ``receive_many``'s unit boundaries): clusters
+        ``[b[g], b[g + 1])`` collapse into pool ``g``. By default every
+        cluster merges into one pool — the whole batch as one unlabeled
+        read pool. When ``rng`` is given, the reads *within each pool*
+        are shuffled; without it the generation order would leak cluster
+        identity to an order-sensitive clusterer (greedy assignment
+        depends on read order). ``source_indices`` reset to the default
+        ``arange`` — a pool carries no strand attribution; recovering it
+        is the clustering subsystem's job.
+
+        Zero-copy over the buffer (only the per-read offset/length rows
+        are permuted).
+        """
+        if group_boundaries is None:
+            group_boundaries = (
+                np.array([0, self.n_clusters], dtype=np.int64)
+                if self.n_clusters else np.zeros(1, dtype=np.int64)
+            )
+        row_bounds = self.group_rows(group_boundaries)
+        n_pools = row_bounds.size - 1
+        rows = np.arange(self.n_reads, dtype=np.int64)
+        if rng is not None:
+            generator = ensure_rng(rng)
+            for g in range(n_pools):
+                generator.shuffle(rows[row_bounds[g]: row_bounds[g + 1]])
+        pool_ids = np.repeat(np.arange(n_pools, dtype=np.int64),
+                             np.diff(row_bounds))
+        return ReadBatch(
+            self.buffer, self.offsets[rows], self.lengths[rows],
+            pool_ids, n_clusters=n_pools,
         )
 
     def select_clusters(self, start: int, stop: int) -> "ReadBatch":

@@ -157,7 +157,9 @@ class SequencingSimulator:
         """Produce one :class:`ReadCluster` per input strand (batch views)."""
         return self.sequence_batch(strands, rng).to_clusters()
 
-    def sequence_store(self, image, rng: RngLike = None) -> ReadBatch:
+    def sequence_store(
+        self, image, rng: RngLike = None, labeled: bool = True
+    ) -> ReadBatch:
         """One spanning :class:`ReadBatch` for a whole multi-unit store.
 
         ``image`` is a :class:`~repro.core.store.StoreImage` (anything
@@ -167,11 +169,30 @@ class SequencingSimulator:
         slots ``[u * n_columns, (u + 1) * n_columns)`` belong to unit
         ``u`` — which is exactly the spanning form
         :meth:`~repro.core.store.DnaStore.decode` consumes whole.
+
+        With ``labeled=False`` the per-strand ground-truth labels are
+        discarded: the result has one cluster per *unit* — the unit's
+        amplification pool, reads shuffled — because units are separately
+        amplifiable (their own primer pairs) while strand attribution
+        within a pool is exactly what sequencing does not provide. That
+        is the realistic retrieval workload: recover the clusters with
+        :class:`~repro.cluster.batched.BatchedGreedyClusterer` (or hand
+        the pool straight to
+        :meth:`~repro.core.store.DnaStore.decode_pool`).
         """
+        generator = ensure_rng(rng)
         strands = [
             strand for unit in image.units for strand in unit.strands
         ]
-        return self.sequence_batch(strands, rng)
+        batch = self.sequence_batch(strands, generator)
+        if labeled:
+            return batch
+        counts = np.array([len(unit.strands) for unit in image.units],
+                          dtype=np.int64)
+        boundaries = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        return batch.pooled(boundaries, rng=generator)
 
 
 class ReadPool:

@@ -6,15 +6,43 @@ Rashtchian et al.). The simulation methodology (Section 6.1.2) uses
 *perfect* clustering — each read is tagged with its source strand — to
 isolate consensus behaviour from clustering errors; the greedy
 edit-distance clusterer is provided as the realistic alternative.
+
+The realistic path is columnar: :class:`BatchedGreedyClusterer` runs the
+greedy scan straight off a :class:`~repro.channel.readbatch.ReadBatch`
+buffer — signatures for the whole pool in one pass
+(:mod:`repro.cluster.signatures`), one stacked banded edit-DP per
+cluster round (:func:`banded_edit_distances_stack`) — with assignments
+identical to the string-plane :class:`GreedyClusterer` (itself pinned
+against the frozen original in :mod:`repro.cluster.reference`). That is
+what opens the unlabeled-pool workload: ``sequence_store(...,
+labeled=False)`` → cluster → ``DnaStore.decode_pool``.
 """
 
-from repro.cluster.distance import banded_edit_distance, edit_distance
+from repro.cluster.batched import BatchedGreedyClusterer
+from repro.cluster.distance import (
+    banded_edit_distance,
+    banded_edit_distance_indices,
+    banded_edit_distances_stack,
+    edit_distance,
+    edit_distance_indices,
+)
 from repro.cluster.greedy import GreedyClusterer
+from repro.cluster.metrics import pair_precision_recall
 from repro.cluster.perfect import perfect_clusters
+from repro.cluster.reference import ReferenceGreedyClusterer
+from repro.cluster.signatures import batch_signatures, qgram_signature
 
 __all__ = [
     "edit_distance",
+    "edit_distance_indices",
     "banded_edit_distance",
+    "banded_edit_distance_indices",
+    "banded_edit_distances_stack",
     "GreedyClusterer",
+    "BatchedGreedyClusterer",
+    "ReferenceGreedyClusterer",
     "perfect_clusters",
+    "pair_precision_recall",
+    "batch_signatures",
+    "qgram_signature",
 ]

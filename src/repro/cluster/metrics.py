@@ -1,0 +1,51 @@
+"""Clustering quality against ground truth: pairwise precision/recall.
+
+The standard external measures for read clustering (e.g. Rashtchian et
+al.): treat every pair of reads as a binary decision. A pair the
+clusterer puts together is a true positive when the reads really share a
+source strand; *precision* is then the purity of the recovered clusters
+(merges hurt it) and *recall* their completeness (splits hurt it). Both
+are computed from the truth-vs-predicted contingency table via one
+``bincount`` — no pair enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pair_precision_recall(
+    truth: np.ndarray, predicted: np.ndarray
+) -> Tuple[float, float]:
+    """Pairwise precision and recall of a clustering vs ground truth.
+
+    Args:
+        truth: per-read ground-truth cluster label (any integers).
+        predicted: per-read recovered cluster label, aligned with
+            ``truth``.
+
+    Returns:
+        ``(precision, recall)`` over unordered read pairs; degenerate
+        denominators (no co-clustered pair exists) count as 1.0.
+    """
+    truth = np.asarray(truth, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    if truth.shape != predicted.shape or truth.ndim != 1:
+        raise ValueError("truth and predicted must be aligned 1-D arrays")
+
+    def pairs(counts: np.ndarray) -> int:
+        return int((counts * (counts - 1) // 2).sum())
+
+    _, t_ids = np.unique(truth, return_inverse=True)
+    _, p_ids = np.unique(predicted, return_inverse=True)
+    n_p = int(p_ids.max()) + 1 if p_ids.size else 0
+    together = pairs(np.bincount(
+        t_ids * n_p + p_ids, minlength=(int(t_ids.max()) + 1) * n_p
+    )) if truth.size else 0
+    predicted_pairs = pairs(np.bincount(p_ids)) if truth.size else 0
+    truth_pairs = pairs(np.bincount(t_ids)) if truth.size else 0
+    precision = together / predicted_pairs if predicted_pairs else 1.0
+    recall = together / truth_pairs if truth_pairs else 1.0
+    return precision, recall

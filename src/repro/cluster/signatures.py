@@ -1,0 +1,130 @@
+"""Vectorized k-mer (q-gram) signatures over the columnar read plane.
+
+A read's q-gram signature is the histogram of its length-``q`` windows,
+each window encoded as a base-4 integer; the L1 distance between two
+signatures lower-bounds ``2 * q`` times their edit distance (one edit
+creates/destroys at most ``q`` windows on each side), which is the
+prefilter the greedy clusterers use to skip hopeless representative
+comparisons.
+
+The kernel here computes the signatures of *every read of a batch* in one
+pass over the flat base buffer: rolling base-4 window codes via ``q``
+strided slice adds (no per-character Python loop, no dict lookups),
+window validity (windows must not straddle a read boundary) as one
+segmented comparison, and all reads' histograms via a single
+``bincount`` over ``read * 4**q + code`` keys. The single-read helper
+:func:`qgram_signature` rides the same rolling-code kernel, so the
+string-plane :class:`~repro.cluster.greedy.GreedyClusterer` and the
+columnar :class:`~repro.cluster.batched.BatchedGreedyClusterer` share
+one signature definition (pinned against the frozen per-character loop
+in :mod:`repro.cluster.reference` by the differential suite).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.channel.readbatch import ReadBatch
+
+#: Anything the batch kernel accepts: a ReadBatch or a raw columnar
+#: ``(buffer, offsets, lengths)`` triple.
+ColumnarReads = Union[ReadBatch, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+def rolling_qgram_codes(
+    flat: np.ndarray, q: int, n_alphabet: int = 4
+) -> np.ndarray:
+    """Base-``n_alphabet`` codes of every length-``q`` window of ``flat``.
+
+    Window ``i`` covers ``flat[i : i + q]``, big-endian (the first base is
+    the most significant digit — the same code the per-character rolling
+    loop of the frozen reference produces). Returns an ``int64`` array of
+    ``len(flat) - q + 1`` codes (empty when ``flat`` is shorter than
+    ``q``), built from ``q`` strided slice adds.
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    flat = np.asarray(flat)
+    n_windows = flat.size - q + 1
+    if n_windows <= 0:
+        return np.zeros(0, dtype=np.int64)
+    codes = np.zeros(n_windows, dtype=np.int64)
+    for t in range(q):
+        codes += flat[t: t + n_windows].astype(np.int64) \
+            * n_alphabet ** (q - 1 - t)
+    return codes
+
+
+def qgram_signature(
+    read: np.ndarray, q: int, n_alphabet: int = 4
+) -> np.ndarray:
+    """Histogram of one read's q-gram codes, ``(n_alphabet**q,)`` int32.
+
+    Bit-identical to the frozen per-character loop
+    (``repro.cluster.reference._qgram_signature``) on index arrays; reads
+    shorter than ``q`` give the all-zero signature.
+    """
+    codes = rolling_qgram_codes(read, q, n_alphabet)
+    return np.bincount(codes, minlength=n_alphabet ** q).astype(np.int32)
+
+
+def _as_columnar(reads: ColumnarReads) -> Tuple[np.ndarray, np.ndarray,
+                                                np.ndarray]:
+    if isinstance(reads, ReadBatch):
+        return reads.buffer, reads.offsets, reads.lengths
+    buffer, offsets, lengths = reads
+    return (np.asarray(buffer), np.asarray(offsets, dtype=np.int64),
+            np.asarray(lengths, dtype=np.int64))
+
+
+def batch_signatures(
+    reads: ColumnarReads, q: int, n_alphabet: int = 4
+) -> np.ndarray:
+    """Signatures of every read of a batch, ``(n_reads, n_alphabet**q)``.
+
+    One pass over the flat base buffer: reads are gathered tight (a no-op
+    when the batch already is), window codes roll across the whole
+    buffer, windows straddling a read boundary are masked out by one
+    segmented comparison, and every read's histogram comes from a single
+    flat ``bincount``. Row ``i`` equals ``qgram_signature(read_i, q)``.
+    """
+    buffer, offsets, lengths = _as_columnar(reads)
+    n_reads = lengths.size
+    n_bins = n_alphabet ** q
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros((n_reads, n_bins), dtype=np.int32)
+    tight_starts = np.cumsum(lengths) - lengths
+    read_of_base = np.repeat(np.arange(n_reads, dtype=np.int64), lengths)
+    if buffer.size == total and np.array_equal(offsets, tight_starts):
+        flat = buffer
+    else:
+        within = np.arange(total, dtype=np.int64) \
+            - tight_starts[read_of_base]
+        flat = buffer[offsets[read_of_base] + within]
+    codes = rolling_qgram_codes(flat, q, n_alphabet)
+    if codes.size == 0:
+        return np.zeros((n_reads, n_bins), dtype=np.int32)
+    # A window starting at flat position p belongs to read r iff it fits
+    # entirely inside r: (p - start_r) + q <= len_r.
+    owners = read_of_base[: codes.size]
+    positions = np.arange(codes.size, dtype=np.int64)
+    valid = positions - tight_starts[owners] + q <= lengths[owners]
+    keys = owners[valid] * n_bins + codes[valid]
+    counts = np.bincount(keys, minlength=n_reads * n_bins)
+    return counts.reshape(n_reads, n_bins).astype(np.int32)
+
+
+def l1_distances(signatures: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """L1 distance of every signature row to ``target``, one array op.
+
+    ``l1 / (2 * q)`` lower-bounds the edit distance, so rows with
+    ``l1 > 2 * q * threshold`` can be skipped without changing any greedy
+    assignment.
+    """
+    return np.abs(signatures.astype(np.int64) - target.astype(np.int64)) \
+        .sum(axis=1)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadCluster
+from repro.cluster.batched import BatchedGreedyClusterer
 from repro.consensus.base import Reconstructor
 from repro.core.pipeline import DecodeReport, DnaStoragePipeline, EncodedUnit, PipelineConfig
 
@@ -172,6 +173,59 @@ class DnaStore:
         batch, boundaries = self._spanning_batch(reads, n_units)
         received = self.pipeline.receive_many(
             batch, boundaries, confidence_threshold=confidence_threshold
+        )
+        return self._correct_units(received, n_data_bits, ranking)
+
+    def decode_pool(
+        self,
+        pool: ReadBatch,
+        n_data_bits: int,
+        clusterer: Optional[BatchedGreedyClusterer] = None,
+        ranking: Optional[np.ndarray] = None,
+        confidence_threshold: Optional[float] = None,
+    ):
+        """Decode a whole store from *unlabeled* per-unit read pools.
+
+        The realistic retrieval workload: ``pool`` holds one cluster per
+        encoding unit — the unit's amplification pool, reads unordered
+        and untagged, exactly what ``SequencingSimulator.sequence_store
+        (..., labeled=False)`` emits. Unit membership is physical (units
+        are separately amplifiable pools with their own primer pairs);
+        *strand* membership within a unit is what the clustering
+        subsystem recovers. Each pool is clustered independently on the
+        columnar plane, then every recovered cluster of every unit
+        decodes through the same single-pass
+        :meth:`~repro.core.pipeline.DnaStoragePipeline.receive_many`
+        as labeled reads — ``receive_many`` takes the recovered-cluster
+        boundary table directly, the consensus strands name their
+        columns via the embedded index field, and RS absorbs residual
+        clustering mistakes.
+
+        Args:
+            pool: one cluster per unit (``n_clusters == n_units``).
+            n_data_bits: payload size stored at encode time.
+            clusterer: the batched greedy clusterer to use; defaults to
+                the strand-length-derived threshold
+                (:meth:`BatchedGreedyClusterer.for_strand_length`).
+            ranking: the same global permutation used at encode time.
+            confidence_threshold: as in :meth:`decode`.
+
+        Returns:
+            ``(bits, StoreReport)``.
+        """
+        n_units = self.units_needed(n_data_bits)
+        if pool.n_clusters != n_units:
+            raise ValueError(
+                f"pool holds {pool.n_clusters} unit pools; the payload "
+                f"spans {n_units} units"
+            )
+        if clusterer is None:
+            clusterer = BatchedGreedyClusterer.for_strand_length(
+                self.pipeline.matrix_config.strand_length
+            )
+        labeled, boundaries = clusterer.cluster_pools(pool)
+        received = self.pipeline.receive_many(
+            labeled, boundaries, confidence_threshold=confidence_threshold
         )
         return self._correct_units(received, n_data_bits, ranking)
 

@@ -165,6 +165,49 @@ class TestRestructuring:
             batch.select_clusters(2, 5)
 
 
+class TestPooled:
+    def test_default_merges_everything_into_one_pool(self):
+        batch = make_batch()
+        pool = batch.pooled()
+        assert pool.n_clusters == 1
+        assert pool.n_reads == batch.n_reads
+        assert pool.buffer is batch.buffer
+        # Without an rng the read order is preserved.
+        assert [pool.read_string(i) for i in range(pool.n_reads)] \
+            == [batch.read_string(i) for i in range(batch.n_reads)]
+        np.testing.assert_array_equal(pool.source_indices, [0])
+
+    def test_group_boundaries_make_one_pool_per_group(self):
+        batch = make_batch()
+        pool = batch.pooled(np.array([0, 2, 3]))
+        assert pool.n_clusters == 2
+        np.testing.assert_array_equal(pool.coverage_counts(), [2, 3])
+
+    def test_shuffle_stays_within_pools(self):
+        batch = make_batch()
+        pool = batch.pooled(np.array([0, 2, 3]), rng=0)
+        first = {pool.read_string(i) for i in range(2)}
+        assert first == {"ACG", "TTAC"}
+        second = {pool.read_string(i) for i in range(2, 5)}
+        assert second == {"A", "", "GGT"}
+
+    def test_shuffle_is_deterministic(self):
+        batch = make_batch()
+        one = batch.pooled(rng=7)
+        two = batch.pooled(rng=7)
+        np.testing.assert_array_equal(one.offsets, two.offsets)
+
+    def test_empty_batch(self):
+        batch = ReadBatch.from_strings([])
+        assert batch.pooled().n_clusters == 0
+
+    def test_bad_boundaries_rejected(self):
+        batch = make_batch()
+        for bad in ([1, 3], [0, 2], [0, 2, 1, 3]):
+            with pytest.raises(ValueError):
+                batch.pooled(np.array(bad))
+
+
 class TestSimulatorIntegration:
     def test_batch_and_cluster_paths_agree(self):
         strands = [random_bases(40, np.random.default_rng(i))

@@ -7,9 +7,12 @@ from hypothesis import strategies as st
 
 from repro.cluster.distance import (
     banded_edit_distance,
+    banded_edit_distance_indices,
+    banded_edit_distances_stack,
     edit_distance,
     edit_distance_indices,
 )
+from repro.codec.basemap import bases_to_indices
 
 DNA = st.text(alphabet="ACGT", max_size=40)
 
@@ -94,3 +97,94 @@ class TestBandedEditDistance:
     def test_certificate_exceeds_band(self):
         # Distance 4 with band 2: any value > 2 is acceptable.
         assert banded_edit_distance("AAAA", "TTTT", band=2) > 2
+
+
+def _as_indices(strand):
+    return (bases_to_indices(strand) if strand
+            else np.zeros(0, dtype=np.uint8))
+
+
+class TestBandedEditDistanceIndices:
+    @given(DNA, DNA)
+    def test_matches_string_variant(self, a, b):
+        for band in (0, 3, 8):
+            assert banded_edit_distance_indices(
+                _as_indices(a), _as_indices(b), band
+            ) == banded_edit_distance(a, b, band)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance_indices(
+                _as_indices("A"), _as_indices("A"), -1
+            )
+
+
+class TestBandedEditDistancesStack:
+    @staticmethod
+    def _stack(strands):
+        from repro.channel.readbatch import ReadBatch
+
+        batch = ReadBatch.from_arrays([[_as_indices(s)] for s in strands])
+        return batch.padded_matrix()
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(DNA, DNA), min_size=1, max_size=12),
+           st.integers(min_value=0, max_value=10))
+    def test_matches_scalar_banded(self, pairs, band):
+        queries, lengths = self._stack([a for a, _ in pairs])
+        targets, target_lengths = self._stack([b for _, b in pairs])
+        distances = banded_edit_distances_stack(
+            queries, lengths, targets, target_lengths, band
+        )
+        for k, (a, b) in enumerate(pairs):
+            true = _reference_levenshtein(a, b)
+            if true <= band:
+                assert distances[k] == true
+            else:
+                assert distances[k] > band
+
+    def test_exact_within_band_near_pairs(self, rng):
+        """Noisy-copy pairs (the clustering workload) come back exact."""
+        from repro.channel import ErrorModel
+        from repro.codec.basemap import random_bases
+
+        model = ErrorModel.uniform(0.05)
+        originals = [random_bases(50, rng) for _ in range(40)]
+        noisy = [model.apply(s, rng) for s in originals]
+        queries, lengths = self._stack(noisy)
+        targets, target_lengths = self._stack(originals)
+        distances = banded_edit_distances_stack(
+            queries, lengths, targets, target_lengths, band=25
+        )
+        for k in range(len(originals)):
+            assert distances[k] == _reference_levenshtein(
+                noisy[k], originals[k]
+            )
+
+    def test_empty_stack(self):
+        distances = banded_edit_distances_stack(
+            np.zeros((0, 0), dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros((0, 0), dtype=np.int64), np.zeros(0, dtype=np.int64),
+            band=3,
+        )
+        assert distances.shape == (0,)
+
+    def test_misaligned_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distances_stack(
+                np.zeros((2, 4), dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+                np.zeros((2, 4), dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                band=1,
+            )
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_edit_distances_stack(
+                np.zeros((1, 1), dtype=np.int64),
+                np.ones(1, dtype=np.int64),
+                np.zeros((1, 1), dtype=np.int64),
+                np.ones(1, dtype=np.int64),
+                band=-1,
+            )

@@ -1,0 +1,129 @@
+"""The vectorized q-gram signature kernel vs the frozen per-character loop."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
+from repro.channel.readbatch import ReadBatch
+from repro.cluster.reference import _qgram_signature as reference_signature
+from repro.cluster.greedy import _qgram_signature as greedy_signature
+from repro.cluster.signatures import (
+    batch_signatures,
+    l1_distances,
+    qgram_signature,
+    rolling_qgram_codes,
+)
+from repro.codec.basemap import bases_to_indices, random_bases
+
+
+class TestRollingCodes:
+    def test_known_windows(self):
+        # ACGT -> windows ACG (0*16+1*4+2=6) and CGT (1*16+2*4+3=27).
+        codes = rolling_qgram_codes(bases_to_indices("ACGT"), 3)
+        np.testing.assert_array_equal(codes, [6, 27])
+
+    def test_short_input_empty(self):
+        assert rolling_qgram_codes(bases_to_indices("AC"), 3).size == 0
+        assert rolling_qgram_codes(np.zeros(0, dtype=np.uint8), 2).size == 0
+
+    def test_q_one_is_identity(self):
+        idx = bases_to_indices("GATTACA")
+        np.testing.assert_array_equal(rolling_qgram_codes(idx, 1), idx)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            rolling_qgram_codes(np.zeros(3, dtype=np.uint8), 0)
+
+
+class TestQgramSignature:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 7, 40, 68])
+    def test_matches_reference_loop(self, rng, q, length):
+        read = random_bases(length, rng)
+        want = reference_signature(read, q)
+        got = qgram_signature(bases_to_indices(read), q)
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+    def test_greedy_wrapper_matches_reference(self, rng):
+        for length in (0, 1, 2, 5, 50):
+            read = random_bases(length, rng)
+            np.testing.assert_array_equal(
+                greedy_signature(read, 3), reference_signature(read, 3)
+            )
+
+
+class TestBatchSignatures:
+    def test_rows_match_single_read_kernel(self, rng):
+        lengths = [0, 1, 2, 3, 10, 35, 68]
+        reads = [rng.integers(0, 4, n).astype(np.uint8) for n in lengths]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        for q in (1, 2, 3):
+            signatures = batch_signatures(batch, q)
+            assert signatures.shape == (len(reads), 4**q)
+            for i, read in enumerate(reads):
+                np.testing.assert_array_equal(
+                    signatures[i], qgram_signature(read, q)
+                )
+
+    def test_windows_never_straddle_read_boundaries(self):
+        # AAA|AAA as two reads must not count the cross-boundary windows
+        # a concatenated buffer would contain.
+        batch = ReadBatch.from_arrays(
+            [[np.zeros(3, dtype=np.uint8)], [np.zeros(3, dtype=np.uint8)]]
+        )
+        signatures = batch_signatures(batch, 2)
+        assert signatures[0, 0] == 2 and signatures[1, 0] == 2
+        assert signatures.sum() == 4  # not the 5 windows of AAAAAA
+
+    def test_non_tight_views_match(self, rng):
+        """Zero-copy sub-batches (offsets not cumsum) gather correctly."""
+        strands = [random_bases(30, rng) for _ in range(8)]
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.05), FixedCoverage(4)
+        )
+        pool = simulator.sequence_batch(strands, rng)
+        view = pool.select_prefix(np.full(len(strands), 2))
+        tight = ReadBatch.from_arrays(
+            [view.reads_of(c) for c in range(view.n_clusters)]
+        )
+        np.testing.assert_array_equal(
+            batch_signatures(view, 3), batch_signatures(tight, 3)
+        )
+
+    def test_empty_batch(self):
+        batch = ReadBatch.from_arrays([])
+        assert batch_signatures(batch, 3).shape == (0, 64)
+
+    def test_triple_form(self, rng):
+        reads = [rng.integers(0, 4, 12).astype(np.uint8) for _ in range(3)]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        triple = (batch.buffer, batch.offsets, batch.lengths)
+        np.testing.assert_array_equal(
+            batch_signatures(triple, 2), batch_signatures(batch, 2)
+        )
+
+
+class TestL1Distances:
+    def test_matches_pairwise_abs_sum(self, rng):
+        signatures = rng.integers(0, 9, (10, 64)).astype(np.int32)
+        target = rng.integers(0, 9, 64).astype(np.int32)
+        got = l1_distances(signatures, target)
+        want = [int(np.abs(row - target).sum()) for row in signatures]
+        np.testing.assert_array_equal(got, want)
+
+    def test_lower_bounds_edit_distance(self, rng):
+        """l1 / (2q) must never exceed the true edit distance (the greedy
+        prefilter's correctness condition)."""
+        from repro.cluster import edit_distance
+
+        q = 3
+        model = ErrorModel.uniform(0.1)
+        for _ in range(25):
+            a = random_bases(40, rng)
+            b = model.apply(a, rng)
+            l1 = int(np.abs(
+                qgram_signature(bases_to_indices(a), q).astype(np.int64)
+                - qgram_signature(bases_to_indices(b), q)
+            ).sum())
+            assert l1 <= 2 * q * edit_distance(a, b)

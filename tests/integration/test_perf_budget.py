@@ -47,6 +47,14 @@ REFINEMENT_BUDGET_SECONDS = 1.5
 #: Minimum lead of a batched refiner over its per-cluster reference.
 REFINEMENT_SPEEDUP_FACTOR = 5
 
+#: Seconds allowed to cluster the full quickstart-config pool (120
+#: strands x coverage 10) on the columnar plane.
+CLUSTERING_BUDGET_SECONDS = 2.0
+
+#: Minimum lead of the batched clusterer over the frozen string-plane
+#: reference on the differential pool below.
+CLUSTERING_SPEEDUP_FACTOR = 5
+
 
 def quickstart_unit(seed, n_clusters=120, coverage=10, length=68, rate=0.06):
     """Index-array clusters shaped like the quickstart encoding unit."""
@@ -242,6 +250,82 @@ class TestPerfBudget:
             f"one-pass store decode ({batched_seconds * 1e3:.0f}ms) is not "
             f"{STORE_SPEEDUP_FACTOR}x faster than the per-unit reference "
             f"({reference_seconds * 1e3:.0f}ms)"
+        )
+
+    @pytest.mark.slow
+    def test_batched_clustering_beats_string_reference(self):
+        """The columnar clusterer must stay meaningfully faster than the
+        frozen string-plane reference while producing identical
+        assignments. The differential pool is quickstart-channel shaped
+        (68-base strands, 6% errors) at reduced strand count so the
+        deliberately slow reference fits the suite; the full
+        quickstart-config pool (120 strands x coverage 10, ~30x measured
+        on the development machine) is guarded by the absolute budget in
+        the end-to-end test below."""
+        from repro.cluster import BatchedGreedyClusterer, ReferenceGreedyClusterer
+        from repro.codec.basemap import random_bases
+
+        rng = np.random.default_rng(5)
+        strands = [random_bases(68, rng) for _ in range(60)]
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.06), FixedCoverage(8)
+        )
+        pool = simulator.sequence_batch(strands, rng).pooled(rng=rng)
+        threshold = 17
+        fast = BatchedGreedyClusterer(threshold)
+        fast.cluster_batch(pool.select_prefix(np.array([100])))  # warm-up
+
+        start = time.perf_counter()
+        labeled = fast.cluster_batch(pool)
+        batched_seconds = time.perf_counter() - start
+
+        reads = [pool.read_string(i) for i in range(pool.n_reads)]
+        reference = ReferenceGreedyClusterer(threshold)
+        start = time.perf_counter()
+        expected = reference.cluster(reads)
+        reference_seconds = time.perf_counter() - start
+
+        assert labeled.n_clusters == len(expected)
+        got = [
+            [labeled.read_string(i) for i in range(*labeled.cluster_rows(c))]
+            for c in range(labeled.n_clusters)
+        ]
+        assert got == [cluster.reads for cluster in expected]
+        assert batched_seconds * CLUSTERING_SPEEDUP_FACTOR \
+            < reference_seconds, (
+                f"batched clustering ({batched_seconds * 1e3:.0f}ms) is not "
+                f"{CLUSTERING_SPEEDUP_FACTOR}x faster than the string-plane "
+                f"reference ({reference_seconds * 1e3:.0f}ms)"
+            )
+
+    @pytest.mark.slow
+    def test_unlabeled_quickstart_pool_clusters_and_decodes_within_budget(self):
+        """The full quickstart-config pool (120 strands x coverage 10)
+        must cluster within the absolute budget, and the end-to-end
+        unlabeled decode — ``sequence_store(labeled=False)`` -> cluster
+        -> ``DnaStore.decode`` plumbing — must round-trip the payload
+        byte-identically."""
+        matrix = MatrixConfig(m=8, n_columns=120, nsym=22, payload_rows=16)
+        store = DnaStore(PipelineConfig(matrix=matrix))
+        rng = np.random.default_rng(13)
+        bits = rng.integers(0, 2, store.unit_capacity_bits).astype(np.uint8)
+        image = store.encode(bits)
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.06), FixedCoverage(10)
+        )
+        pool = simulator.sequence_store(image, rng=1, labeled=False)
+        assert pool.n_reads == 1200
+
+        start = time.perf_counter()
+        decoded, report = store.decode_pool(pool, bits.size)
+        elapsed = time.perf_counter() - start
+
+        assert report.clean
+        np.testing.assert_array_equal(decoded, bits)
+        assert elapsed < CLUSTERING_BUDGET_SECONDS, (
+            f"unlabeled-pool decode took {elapsed:.2f}s; the clustering "
+            f"hot path has regressed past the "
+            f"{CLUSTERING_BUDGET_SECONDS:.1f}s budget"
         )
 
     def test_channel_stage_within_budget_and_beats_per_read_path(self):
