@@ -119,9 +119,12 @@ def main() -> None:
     # emits one spanning batch for all units (`sequence_store`), and
     # decode runs ONE consensus batch call over every surviving cluster
     # of every unit (`pipeline.receive_many` parses the whole estimate
-    # stack segmented by unit). The per-unit loop survives as
-    # `store.decode_units`, the frozen reference the batched path is
-    # pinned byte-identical against.
+    # stack segmented by unit) followed by ONE batched RS errata pass:
+    # every dirty codeword of every unit moves through Berlekamp-Massey,
+    # Chien and Forney in lockstep (`ReedSolomon.decode_many`). The
+    # per-unit loop survives as `store.decode_units` and the scalar RS
+    # chain as `repro.ecc.ReferenceReedSolomon` — the frozen references
+    # the batched paths are pinned byte-identical against.
     store = DnaStore(PipelineConfig(matrix=matrix, layout="gini"))
     payload = rng.integers(0, 2, 3 * store.unit_capacity_bits,
                            dtype=np.uint8)

@@ -78,10 +78,21 @@ batch call over every surviving cluster of every unit::
 the units' clusters back to back in one columnar batch;
 ``pipeline.receive_many`` then parses the whole estimate stack with
 array operations — index validation, first-claim-wins column assembly
-and confidence-cell extraction, segmented by unit — feeding per-unit RS
-correction. The original one-pipeline-call-per-unit loop survives as
-``DnaStore.decode_units``, the frozen differential reference the batched
-path is pinned byte-identical against.
+and confidence-cell extraction, segmented by unit — feeding one batched
+RS correction pass. The original one-pipeline-call-per-unit loop
+survives as ``DnaStore.decode_units``, the frozen differential reference
+the batched path is pinned byte-identical against.
+
+RS correction itself is batched end to end: clean codewords clear
+through one bit-plane syndrome product, and the dirty remainder of
+*every unit* moves through erasure-locator construction,
+Berlekamp–Massey, the Chien search and Forney as one lockstep
+computation per stage (``ReedSolomon.decode_many``, with per-codeword
+failure flags instead of exceptions). Soft confidence flags ride a
+two-wave schedule — augmented erasures first, a hard-only retry wave
+for the rows the hints lost — and the whole chain is pinned
+byte-identical to the frozen scalar decoder
+(:class:`~repro.ecc.ReferenceReedSolomon`) by the differential suite.
 
 Reads do not need ground-truth cluster labels anymore: the clustering
 subsystem runs on the same columnar plane, so the realistic workload —

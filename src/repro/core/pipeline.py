@@ -29,6 +29,7 @@ from repro.consensus.two_way import TwoWayReconstructor
 from repro.core.layout import LayoutPolicy, MatrixConfig, build_layout
 from repro.core.ranking import identity_ranking
 from repro.ecc.reed_solomon import DecodeFailure, ReedSolomon
+from repro.ecc.reference import ReferenceReedSolomon
 from repro.utils.bitio import pack_uint
 
 
@@ -128,6 +129,9 @@ class DnaStoragePipeline:
             if config.matrix.nsym > 0
             else None
         )
+        # The frozen scalar decoder behind correct_matrix_loop_reference;
+        # built lazily — ordinary decodes never touch it.
+        self._rs_reference: Optional[ReferenceReedSolomon] = None
         self._placement = list(self.layout.placement_order())
         if len(self._placement) != config.matrix.data_symbols:
             raise AssertionError("placement order does not cover the data cells")
@@ -588,7 +592,8 @@ class DnaStoragePipeline:
         """Decode several units from one spanning batch.
 
         One :meth:`receive_many` pass (a single consensus batch call over
-        every unit's clusters) feeding per-unit :meth:`correct`.
+        every unit's clusters) feeding one :meth:`correct_many` pass (a
+        single batched errata decode over every unit's dirty codewords).
         ``n_data_bits`` is a scalar applied to every unit or one value per
         unit; ``ranking``/``extra_erasure_columns`` apply per unit.
         Returns one ``(bits, DecodeReport)`` pair per unit.
@@ -598,14 +603,9 @@ class DnaStoragePipeline:
             sizes = [int(n_data_bits)] * len(received)
         else:
             sizes = [int(size) for size in n_data_bits]
-        if len(sizes) != len(received):
-            raise ValueError(
-                f"expected {len(received)} payload sizes, got {len(sizes)}"
-            )
-        return [
-            self.correct(unit, size, ranking, extra_erasure_columns)
-            for unit, size in zip(received, sizes)
-        ]
+        return self.correct_many(
+            received, sizes, ranking, extra_erasure_columns
+        )
 
     def _reconstruct_unit(
         self,
@@ -678,6 +678,11 @@ class DnaStoragePipeline:
         config = self.matrix_config
         indices = np.asarray(indices, dtype=np.int64)
         bases_per_symbol = config.m // 2
+        if indices.size != config.strand_length:
+            # Truncated or overlong estimates cannot split into index +
+            # payload symbols; treat them like a bad index instead of
+            # letting the reshape below blow up.
+            return None, np.zeros(0, dtype=np.int64)
         # Base-4 big-endian digits -> integers, one symbol per group.
         weights = 4 ** np.arange(bases_per_symbol - 1, -1, -1, dtype=np.int64)
         grouped = indices.reshape(-1, bases_per_symbol)
@@ -694,6 +699,10 @@ class DnaStoragePipeline:
     ) -> Tuple[np.ndarray, DecodeReport]:
         """RS-correct a received matrix; no bit extraction yet.
 
+        A one-unit wrapper around :meth:`correct_matrix_many` (pinned
+        byte-identical to the frozen per-codeword loop,
+        :meth:`correct_matrix_loop_reference`).
+
         Args:
             received: output of :meth:`receive`.
             extra_erasure_columns: columns to treat as erased on top of the
@@ -703,6 +712,150 @@ class DnaStoragePipeline:
         Returns:
             The corrected matrix (failed codewords keep their received
             symbols) and the decode report.
+        """
+        return self.correct_matrix_many([received], extra_erasure_columns)[0]
+
+    def correct_matrix_many(
+        self,
+        received_units: Sequence[ReceivedUnit],
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> List[Tuple[np.ndarray, DecodeReport]]:
+        """RS-correct every unit's matrix through one batched errata pass.
+
+        The store-plane correction boundary: every codeword of every unit
+        is gathered into one ``(U * K, n)`` word stack and decoded in two
+        batched waves of :meth:`~repro.ecc.reed_solomon.ReedSolomon.
+        decode_many`. Wave one decodes each codeword with its hard
+        (column) erasures plus as many advisory soft (confidence) cell
+        erasures as the ``nsym`` budget admits — low-confidence flags are
+        *hints*, so wave two retries exactly the rows wave one failed,
+        with the hard erasures alone: a wrong confidence flag must never
+        lose a codeword that plain decoding would have saved. Codewords
+        with no soft flags get their full verdict in wave one (a retry
+        would repeat the identical call). Per-unit output is
+        byte-identical to the frozen per-codeword loop
+        (:meth:`correct_matrix_loop_reference`).
+
+        Args:
+            received_units: outputs of :meth:`receive` /
+                :meth:`receive_many`.
+            extra_erasure_columns: applied to every unit (see
+                :meth:`correct_matrix`).
+
+        Returns:
+            One ``(corrected_matrix, DecodeReport)`` pair per unit.
+        """
+        config = self.matrix_config
+        n_units = len(received_units)
+        extra = [int(c) for c in extra_erasure_columns]
+        erased_lists: List[List[int]] = []
+        erased_col_mask = np.zeros((n_units, config.n_columns), dtype=bool)
+        for u, unit in enumerate(received_units):
+            erased = sorted(set(unit.erased_columns) | set(extra))
+            for column in erased:
+                if not (0 <= column < config.n_columns):
+                    raise ValueError(f"erasure column {column} out of range")
+            erased_lists.append(erased)
+            erased_col_mask[u, erased] = True
+        matrices = (
+            np.stack([unit.matrix for unit in received_units])
+            if n_units
+            else np.zeros(
+                (0, config.payload_rows, config.n_columns), dtype=np.int64
+            )
+        ).copy()
+        if self._rs is None or n_units == 0:
+            return [
+                (matrices[u], DecodeReport(
+                    erased_columns=erased_lists[u],
+                    failed_codewords=[],
+                    corrected_symbols=0,
+                ))
+                for u in range(n_units)
+            ]
+
+        rs = self._rs
+        n_codewords = self.layout.n_codewords
+        data_columns = config.data_columns
+        # Per-unit boolean cell-erasure matrices (one scatter per unit
+        # instead of per-codeword tuple-set membership); soft flags on
+        # hard-erased columns are redundant and drop out here.
+        soft_cells = np.zeros(
+            (n_units, config.payload_rows, config.n_columns), dtype=bool
+        )
+        for u, unit in enumerate(received_units):
+            for row, column in unit.cell_erasures:
+                soft_cells[u, int(row), int(column)] = True
+        soft_cells &= ~erased_col_mask[:, None, :]
+
+        # Gather every unit's every codeword: (U, K, n) -> (U*K, n).
+        words = matrices[
+            :, self._codeword_rows, self._codeword_cols
+        ].reshape(-1, rs.n)
+        hard_mask = erased_col_mask[:, self._codeword_cols].reshape(-1, rs.n)
+        soft_mask = soft_cells[
+            np.arange(n_units)[:, None, None],
+            self._codeword_rows, self._codeword_cols,
+        ].reshape(-1, rs.n)
+
+        # Wave 1: hard erasures plus the soft flags that fit the budget,
+        # lowest position first (the loop reference truncates
+        # ``soft_positions[:nsym - n_hard]`` in ascending order).
+        budget = np.maximum(rs.nsym - hard_mask.sum(axis=1), 0)
+        kept_soft = soft_mask & (
+            np.cumsum(soft_mask, axis=1) <= budget[:, None]
+        )
+        result = rs.decode_many(words, hard_mask | kept_soft)
+        ok = result.ok.copy()
+        messages = result.messages
+        n_fixed = result.n_corrected.copy()
+
+        # Wave 2: hard-only retry for the rows whose soft hints lost the
+        # decode. Rows whose wave-1 mask already was hard-only would just
+        # repeat the identical call, so they keep their verdict.
+        retry = np.flatnonzero(~ok & kept_soft.any(axis=1))
+        if retry.size:
+            second = rs.decode_many(words[retry], hard_mask[retry])
+            ok[retry] = second.ok
+            messages[retry] = second.messages
+            n_fixed[retry] = second.n_corrected
+
+        # Scatter corrected data symbols back; failed codewords keep
+        # their received symbols.
+        ok_grid = ok.reshape(n_units, n_codewords)
+        message_grid = messages.reshape(n_units, n_codewords, rs.k)
+        unit_ids, codeword_ids = np.nonzero(ok_grid)
+        matrices[
+            unit_ids[:, None],
+            self._codeword_rows[codeword_ids, :data_columns],
+            self._codeword_cols[codeword_ids, :data_columns],
+        ] = message_grid[unit_ids, codeword_ids]
+        fixed_grid = np.where(ok_grid, n_fixed.reshape(ok_grid.shape), 0)
+
+        return [
+            (matrices[u], DecodeReport(
+                erased_columns=erased_lists[u],
+                failed_codewords=[int(k) for k in
+                                  np.flatnonzero(~ok_grid[u])],
+                corrected_symbols=int(fixed_grid[u].sum()),
+            ))
+            for u in range(n_units)
+        ]
+
+    def correct_matrix_loop_reference(
+        self,
+        received: ReceivedUnit,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> Tuple[np.ndarray, DecodeReport]:
+        """The frozen per-codeword correction loop (differential reference).
+
+        Mirrors :meth:`encode_loop_reference`: this is the original
+        implementation — one scalar
+        :meth:`~repro.ecc.reference.ReferenceReedSolomon.decode` try/
+        except per dirty codeword, soft-erasure fallback per codeword —
+        kept so the batched :meth:`correct_matrix_many` stays pinned
+        byte-identical to it (``tests/ecc/test_batched_vs_reference.py``,
+        ``tests/integration/test_perf_budget.py``).
         """
         config = self.matrix_config
         matrix = received.matrix.copy()
@@ -715,24 +868,23 @@ class DnaStoragePipeline:
         failed: List[int] = []
         corrected = 0
         if self._rs is not None:
-            erased_set = set(erased)
-            cell_erasure_set = {
-                (int(r), int(c)) for r, c in received.cell_erasures
-                if c not in erased_set
-            }
+            rs = self._reference_codec()
             data_columns = config.data_columns
-            # All codewords' symbols in one gather, erased positions
-            # zeroed, syndromes batched: codewords that come back all-zero
-            # (and carry no advisory soft erasures) decode on the fast
-            # path below — byte-identical to what the scalar decoder's
-            # clean early-return produces — and only the dirty remainder
-            # pays for Berlekamp-Massey.
             words = matrix[self._codeword_rows, self._codeword_cols]
             erased_mask = np.zeros(config.n_columns, dtype=bool)
             erased_mask[erased] = True
+            # Boolean cell-erasure matrix, built once per unit: soft
+            # flags gather per codeword by fancy indexing below instead
+            # of per-cell tuple-set membership tests.
+            soft_cells = np.zeros(
+                (config.payload_rows, config.n_columns), dtype=bool
+            )
+            for row, column in received.cell_erasures:
+                soft_cells[int(row), int(column)] = True
+            soft_cells &= ~erased_mask[None, :]
             zero_mask = erased_mask[self._codeword_cols]
             zeroed = np.where(zero_mask, 0, words)
-            clean = ~np.any(self._rs.syndromes_many(zeroed) != 0, axis=1)
+            clean = ~np.any(rs.syndromes_many(zeroed) != 0, axis=1)
             n_erasures = zero_mask.sum(axis=1)
             for k in range(self.layout.n_codewords):
                 erasure_positions = [
@@ -744,28 +896,28 @@ class DnaStoragePipeline:
                 # a wrong confidence flag must never lose a codeword that
                 # plain decoding would have saved.
                 soft_positions = [
-                    j for j, cell in enumerate(
-                        zip(self._codeword_rows[k], self._codeword_cols[k])
+                    int(j) for j in np.flatnonzero(
+                        soft_cells[self._codeword_rows[k],
+                                   self._codeword_cols[k]]
                     )
-                    if (int(cell[0]), int(cell[1])) in cell_erasure_set
-                ] if cell_erasure_set else []
+                ]
                 if not soft_positions:
-                    if n_erasures[k] > self._rs.nsym:
+                    if n_erasures[k] > rs.nsym:
                         failed.append(k)
                         continue
                     if clean[k]:
                         corrected += int(n_erasures[k])
                         matrix[self._codeword_rows[k, :data_columns],
                                self._codeword_cols[k, :data_columns]] = \
-                            zeroed[k, : self._rs.k]
+                            zeroed[k, : rs.k]
                         continue
-                budget = self._rs.nsym - len(erasure_positions)
+                budget = rs.nsym - len(erasure_positions)
                 augmented = erasure_positions + soft_positions[:max(budget, 0)]
                 try:
-                    message, n_fixed = self._rs.decode(words[k], augmented)
+                    message, n_fixed = rs.decode(words[k], augmented)
                 except DecodeFailure:
                     try:
-                        message, n_fixed = self._rs.decode(
+                        message, n_fixed = rs.decode(
                             words[k], erasure_positions
                         )
                     except DecodeFailure:
@@ -780,6 +932,15 @@ class DnaStoragePipeline:
             corrected_symbols=corrected,
         )
         return matrix, report
+
+    def _reference_codec(self) -> ReferenceReedSolomon:
+        """The lazily-built frozen scalar codec for the reference path."""
+        if self._rs_reference is None:
+            config = self.matrix_config
+            self._rs_reference = ReferenceReedSolomon(
+                config.m, nsym=config.nsym, n=config.n_columns
+            )
+        return self._rs_reference
 
     def correct(
         self,
@@ -802,6 +963,39 @@ class DnaStoragePipeline:
         )
         bits = self._unrank(prioritized, n_data_bits, ranking)
         return bits, report
+
+    def correct_many(
+        self,
+        received_units: Sequence[ReceivedUnit],
+        n_data_bits: Sequence[int],
+        ranking: Optional[np.ndarray] = None,
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> List[Tuple[np.ndarray, DecodeReport]]:
+        """RS-correct and bit-extract several units in one batched pass.
+
+        The multi-unit counterpart of :meth:`correct`: all units' dirty
+        codewords decode through one :meth:`correct_matrix_many` call
+        (one batched errata wave plus at most one soft-erasure retry
+        wave), then each unit's bits extract as in :meth:`correct`.
+        ``n_data_bits[u]`` is unit ``u``'s payload size; ``ranking`` and
+        ``extra_erasure_columns`` apply per unit.
+        """
+        if len(n_data_bits) != len(received_units):
+            raise ValueError(
+                f"expected {len(received_units)} payload sizes, "
+                f"got {len(n_data_bits)}"
+            )
+        results = self.correct_matrix_many(
+            received_units, extra_erasure_columns
+        )
+        out = []
+        for (matrix, report), size in zip(results, n_data_bits):
+            prioritized = self._symbols_to_bits(
+                matrix[self._placement_rows, self._placement_cols]
+            )
+            out.append((self._unrank(prioritized, int(size), ranking),
+                        report))
+        return out
 
     def decode(
         self,

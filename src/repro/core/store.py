@@ -254,15 +254,21 @@ class DnaStore:
         return self._correct_units(received, n_data_bits, ranking)
 
     def _correct_units(self, received, n_data_bits, ranking):
-        """Per-unit RS correction + stripe reassembly (shared tail)."""
+        """Batched RS correction + stripe reassembly (shared tail).
+
+        All units' dirty codewords decode through one
+        :meth:`~repro.core.pipeline.DnaStoragePipeline.correct_many`
+        call — a single batched errata wave (plus at most one
+        soft-erasure retry wave) for the whole store.
+        """
         n_units = self.units_needed(n_data_bits)
         stripe_sizes = [
             len(range(u, n_data_bits, n_units)) for u in range(n_units)
         ]
         prioritized = np.zeros(n_data_bits, dtype=np.uint8)
         reports = []
-        for u, unit in enumerate(received):
-            stripe, report = self.pipeline.correct(unit, stripe_sizes[u])
+        corrected = self.pipeline.correct_many(received, stripe_sizes)
+        for u, (stripe, report) in enumerate(corrected):
             prioritized[u::n_units] = stripe
             reports.append(report)
         if ranking is None:

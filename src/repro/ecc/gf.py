@@ -132,6 +132,40 @@ class GaloisField:
 
     # -- vector ops ---------------------------------------------------------
 
+    def log_vec(self, a: np.ndarray) -> np.ndarray:
+        """Discrete logs of a symbol array; raises ValueError on any zero."""
+        a = np.asarray(a, dtype=np.int64)
+        if np.any(a == 0):
+            raise ValueError("log(0) is undefined")
+        return self._log[a]
+
+    def alpha_pow_vec(self, exponents: np.ndarray) -> np.ndarray:
+        """alpha^e for an array of integer exponents (negatives allowed)."""
+        exponents = np.asarray(exponents, dtype=np.int64)
+        return self._exp[exponents % self.max_value]
+
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise multiplicative inverse; raises on any zero."""
+        a = np.asarray(a, dtype=np.int64)
+        if np.any(a == 0):
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.max_value - self._log[a]]
+
+    def div_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``a / b`` (broadcasting); raises on any zero in b."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        out = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        a_b, b_b = np.broadcast_arrays(a, b)
+        nonzero = a_b != 0
+        if np.any(nonzero):
+            idx = (self._log[a_b[nonzero]] - self._log[b_b[nonzero]]) \
+                % self.max_value
+            out[nonzero] = self._exp[idx]
+        return out
+
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise product of two symbol arrays (broadcasting allowed)."""
         a = np.asarray(a, dtype=np.int64)
@@ -169,6 +203,23 @@ class GaloisField:
         result = np.zeros_like(xs)
         for coeff in np.asarray(poly, dtype=np.int64):
             result = self.mul_vec(result, xs) ^ int(coeff)
+        return result
+
+    def poly_eval_grid(self, polys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Evaluate many polynomials at many points in one Horner sweep.
+
+        ``polys`` is ``(D, C)`` with descending coefficients (leading
+        zeros are harmless — Horner just carries a zero accumulator), and
+        ``xs`` is ``(P,)``; the result is ``(D, P)`` with
+        ``out[d, p] = polys[d](xs[p])``. This is the batched Chien-search
+        primitive: one many-polynomials-at-many-points product per
+        coefficient instead of ``D`` scalar Horner loops.
+        """
+        polys = np.asarray(polys, dtype=np.int64)
+        xs = np.asarray(xs, dtype=np.int64)
+        result = np.zeros((polys.shape[0], xs.shape[0]), dtype=np.int64)
+        for c in range(polys.shape[1]):
+            result = self.mul_vec(result, xs[None, :]) ^ polys[:, c: c + 1]
         return result
 
     def poly_mul(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:

@@ -9,7 +9,13 @@ consensus surfaces as symbol *errors* at unknown positions.
 The decoder implements the classical chain — syndromes, Berlekamp–Massey
 initialized with the erasure locator, Chien search, Forney algorithm — and
 supports shortened codes (``n < 2^m - 1``), which the scaled experiment
-configurations rely on.
+configurations rely on. The chain itself runs batched: :meth:`ReedSolomon.
+decode_many` moves every dirty codeword of a whole store through each
+stage in lockstep (:mod:`repro.ecc.batched`), and the scalar
+:meth:`ReedSolomon.decode` is a one-row wrapper around it. The original
+per-codeword chain is frozen in :mod:`repro.ecc.reference`
+(:class:`~repro.ecc.reference.ReferenceReedSolomon`), pinned
+byte-identical by ``tests/ecc/test_batched_vs_reference.py``.
 
 Conventions: a codeword is an array ``c[0..n-1]`` of m-bit symbols;
 ``c[i]`` is the coefficient of ``x^(n-1-i)``, i.e. the first array element
@@ -23,6 +29,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ecc import batched as _batched
 from repro.ecc.gf import GaloisField
 
 
@@ -56,10 +63,22 @@ class ReedSolomon:
         self.nsym = nsym
         self.k = n - nsym
         self._generator = self._build_generator()
-        # Per-position inverse root (alpha^-(n-1-i)) used by the Chien search.
+        # Per-position roots used across the errata chain: alpha^(n-1-i)
+        # (erasure-locator factors, Forney's X), its inverse (Chien
+        # search, Forney evaluation points) and the syndrome evaluation
+        # points alpha^j — all constructor-time so neither the batched
+        # chain nor the frozen scalar reference pays per-codeword
+        # allocation.
         degrees = np.arange(self.n - 1, -1, -1, dtype=np.int64)
+        self._roots = np.array(
+            [self.field.alpha_pow(int(d)) for d in degrees], dtype=np.int64
+        )
         self._inv_roots = np.array(
             [self.field.alpha_pow(-int(d)) for d in degrees], dtype=np.int64
+        )
+        self._syndrome_xs = np.array(
+            [self.field.alpha_pow(j) for j in range(self.nsym)],
+            dtype=np.int64,
         )
         # Lazy caches for the batched entry points (parity_many /
         # syndromes_many); built on first use, never for decode-only codes.
@@ -183,7 +202,11 @@ class ReedSolomon:
         received: Sequence[int],
         erasures: Iterable[int] = (),
     ) -> Tuple[np.ndarray, int]:
-        """Correct a received word in place and return ``(message, n_corrected)``.
+        """Correct a received word and return ``(message, n_corrected)``.
+
+        A one-row wrapper around :meth:`decode_many`; output (and the
+        failure set) is pinned byte-identical to the frozen scalar chain
+        (:class:`~repro.ecc.reference.ReferenceReedSolomon`).
 
         Args:
             received: ``n`` symbols (erased positions may hold any value,
@@ -199,7 +222,7 @@ class ReedSolomon:
             DecodeFailure: when ``2*errors + erasures > nsym`` or the
                 locator polynomial is inconsistent.
         """
-        word = np.asarray(received, dtype=np.int64).copy()
+        word = np.asarray(received, dtype=np.int64)
         if word.shape != (self.n,):
             raise ValueError(f"received must have {self.n} symbols, got {word.shape}")
         erasure_list = sorted(set(int(e) for e in erasures))
@@ -210,32 +233,48 @@ class ReedSolomon:
             raise DecodeFailure(
                 f"{len(erasure_list)} erasures exceed correction capability {self.nsym}"
             )
-        # Zero out erased positions so their prior content cannot bias syndromes.
-        if erasure_list:
-            word[erasure_list] = 0
+        result = self.decode_many(word[None, :], [erasure_list])
+        if not result.ok[0]:
+            raise DecodeFailure(_batched.REASON_LABELS[int(result.reasons[0])])
+        return result.messages[0], int(result.n_corrected[0])
 
-        syndromes = self._syndromes(word)
-        if not np.any(syndromes):
-            return word[: self.k], len(erasure_list)
+    def decode_many(
+        self,
+        words: np.ndarray,
+        erasure_table: "_batched.ErasureTable" = None,
+    ) -> "_batched.BatchDecodeResult":
+        """Error-and-erasure decode many received words in lockstep.
 
-        errata_locator = self._berlekamp_massey(syndromes, erasure_list)
-        positions = self._chien_search(errata_locator)
-        degree = len(errata_locator) - 1
-        if len(positions) != degree:
-            raise DecodeFailure(
-                f"locator degree {degree} but found {len(positions)} roots"
-            )
-        n_errors = degree - len(erasure_list)
-        if 2 * n_errors + len(erasure_list) > self.nsym:
-            raise DecodeFailure(
-                f"{n_errors} errors + {len(erasure_list)} erasures exceed capability"
-            )
-        magnitudes = self._forney(syndromes, errata_locator, positions)
-        for pos, mag in zip(positions, magnitudes):
-            word[pos] ^= mag
-        if np.any(self._syndromes(word)):
-            raise DecodeFailure("residual syndromes after correction")
-        return word[: self.k], degree
+        The batched errata chain (:mod:`repro.ecc.batched`): one
+        bit-plane syndrome product routes clean rows through a fast
+        path, and the dirty remainder moves through erasure-locator
+        construction, Berlekamp–Massey, the Chien search and Forney as a
+        single ``(D, ...)`` computation per stage — no per-codeword
+        Python loop. Failures are per-row flags instead of exceptions,
+        so one uncorrectable codeword cannot serialize the batch.
+
+        Args:
+            words: ``(D, n)`` received words.
+            erasure_table: per-row erasures — ``None``, a ``(D, n)``
+                boolean mask, or one index sequence per row (duplicates
+                collapse; indices are range-checked).
+
+        Returns:
+            A :class:`~repro.ecc.batched.BatchDecodeResult`; row ``d``
+            carries exactly what :meth:`decode` would return for
+            ``words[d]`` (or the reason it would raise
+            :class:`DecodeFailure`).
+        """
+        words = np.asarray(words, dtype=np.int64)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"words must be (B, {self.n}), got {words.shape}")
+        if words.size and (words.min() < 0
+                           or words.max() > self.field.max_value):
+            raise ValueError("word symbols out of field range")
+        mask = _batched.as_erasure_mask(
+            erasure_table, words.shape[0], self.n
+        )
+        return _batched.decode_words(self, words, mask)
 
     def _syndrome_bit_matrix(self) -> np.ndarray:
         """Bit-plane expansion of the syndrome map (see
@@ -295,113 +334,9 @@ class ReedSolomon:
             raise ValueError(f"word must have {self.n} symbols, got {word.shape}")
         return not np.any(self._syndromes(word))
 
-    # -- decoder internals (ascending-order polynomials) ----------------------
-
     def _syndromes(self, word: np.ndarray) -> np.ndarray:
         """S_j = C(alpha^j) for j = 0..nsym-1 (ascending array)."""
-        xs = np.array([self.field.alpha_pow(j) for j in range(self.nsym)],
-                      dtype=np.int64)
-        return self.field.poly_eval_many(word, xs)
-
-    def _erasure_locator(self, erasure_list: Sequence[int]) -> list:
-        """Gamma(x) = prod (1 + alpha^d x), ascending coefficient list."""
-        locator = [1]
-        for pos in erasure_list:
-            degree = self.n - 1 - pos
-            root = self.field.alpha_pow(degree)
-            # Multiply locator by (1 + root*x).
-            extended = locator + [0]
-            for i in range(len(locator)):
-                extended[i + 1] ^= self.field.mul(locator[i], root)
-            locator = extended
-        return locator
-
-    def _berlekamp_massey(
-        self, syndromes: np.ndarray, erasure_list: Sequence[int]
-    ) -> list:
-        """Find the errata locator, seeded with the erasure locator.
-
-        Returns the combined locator Lambda(x)*Gamma(x) as an ascending
-        coefficient list with constant term 1.
-        """
-        rho = len(erasure_list)
-        locator = self._erasure_locator(erasure_list)
-        previous = list(locator)
-        for k in range(rho, self.nsym):
-            delta = int(syndromes[k])
-            for j in range(1, len(locator)):
-                if locator[j] and k - j >= 0:
-                    delta ^= self.field.mul(locator[j], int(syndromes[k - j]))
-            previous = [0] + previous  # multiply by x (ascending order)
-            if delta != 0:
-                if len(previous) > len(locator):
-                    new_locator = [self.field.mul(c, delta) for c in previous]
-                    inv_delta = self.field.inv(delta)
-                    previous = [self.field.mul(c, inv_delta) for c in locator]
-                    locator = new_locator
-                scaled = [self.field.mul(c, delta) for c in previous]
-                merged = [0] * max(len(locator), len(scaled))
-                for i, c in enumerate(locator):
-                    merged[i] ^= c
-                for i, c in enumerate(scaled):
-                    merged[i] ^= c
-                locator = merged
-        while len(locator) > 1 and locator[-1] == 0:
-            locator.pop()
-        if locator[0] != 1:
-            raise DecodeFailure("locator constant term is not 1")
-        return locator
-
-    def _chien_search(self, locator: list) -> list:
-        """Return received-array positions where the locator has a root."""
-        loc_desc = np.array(locator[::-1], dtype=np.int64)
-        evaluations = self.field.poly_eval_many(loc_desc, self._inv_roots)
-        return [int(i) for i in np.nonzero(evaluations == 0)[0]]
-
-    def _forney(
-        self, syndromes: np.ndarray, locator: list, positions: Sequence[int]
-    ) -> list:
-        """Error magnitudes e = X * Omega(X^-1) / Lambda'(X^-1) (fcr = 0)."""
-        # Omega(x) = S(x) * Lambda(x) mod x^nsym, ascending coefficients.
-        omega = [0] * self.nsym
-        for i in range(self.nsym):
-            s = int(syndromes[i])
-            if s == 0:
-                continue
-            for j, lam in enumerate(locator):
-                if lam and i + j < self.nsym:
-                    omega[i + j] ^= self.field.mul(s, lam)
-        # Formal derivative keeps odd-degree terms: sum Lambda_j x^(j-1), j odd.
-        derivative = [locator[j] for j in range(1, len(locator), 2)]
-        magnitudes = []
-        for pos in positions:
-            degree = self.n - 1 - pos
-            x = self.field.alpha_pow(degree)
-            x_inv = self.field.inv(x)
-            omega_val = self._eval_ascending(omega, x_inv)
-            # Lambda'(x_inv): even powers of x_inv only (x^(j-1) with j odd).
-            deriv_val = 0
-            power = 1
-            x_inv_sq = self.field.mul(x_inv, x_inv)
-            for coeff in derivative:
-                if coeff:
-                    deriv_val ^= self.field.mul(coeff, power)
-                power = self.field.mul(power, x_inv_sq)
-            if deriv_val == 0:
-                raise DecodeFailure("Forney derivative evaluated to zero")
-            magnitude = self.field.mul(x, self.field.div(omega_val, deriv_val))
-            magnitudes.append(magnitude)
-        return magnitudes
-
-    def _eval_ascending(self, poly: Sequence[int], x: int) -> int:
-        """Evaluate an ascending-order coefficient list at ``x``."""
-        result = 0
-        power = 1
-        for coeff in poly:
-            if coeff:
-                result ^= self.field.mul(coeff, power)
-            power = self.field.mul(power, x)
-        return result
+        return self.field.poly_eval_many(word, self._syndrome_xs)
 
     def __repr__(self) -> str:
         return f"ReedSolomon(m={self.m}, n={self.n}, k={self.k}, nsym={self.nsym})"

@@ -185,6 +185,32 @@ class TestReceive:
         assert received.invalid_strands == 1
         assert 0 in received.erased_columns
 
+    def test_truncated_estimate_dropped_not_crash(self, pipeline, rng):
+        """Regression: an estimate whose length is not a whole number of
+        symbols used to crash ``_parse_indices`` with an opaque reshape
+        ValueError; it must be dropped as unparseable like a bad index."""
+        from repro.consensus import TwoWayReconstructor
+
+        class TruncatingTwoWay(TwoWayReconstructor):
+            def reconstruct_many_indices(self, clusters, length):
+                estimates = list(super().reconstruct_many_indices(
+                    clusters, length
+                ))
+                # Chop one base off the first consensus strand: its
+                # length is no longer a multiple of bases-per-symbol.
+                estimates[0] = estimates[0][:-1]
+                return estimates
+
+        bits = _payload(pipeline, rng)
+        unit = pipeline.encode(bits)
+        clusters = _noiseless_clusters(unit, rng)
+        truncating = DnaStoragePipeline(
+            pipeline.config, reconstructor=TruncatingTwoWay()
+        )
+        received = truncating.receive(clusters)
+        assert received.invalid_strands == 1
+        assert len(received.erased_columns) == 1
+
 
 class TestNoEccMode:
     def test_nsym_zero_roundtrip(self, rng):
