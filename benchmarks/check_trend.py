@@ -19,6 +19,14 @@ baseline* and fails when a tracked stage regressed:
   expected to reproduce; any value drifting past ``--series-rtol``
   relative tolerance fails the gate (a silent accuracy change is as much
   a regression as a slow decode).
+* **stages** (``--stage``) — every benchmark run also leaves one run
+  manifest (``MANIFEST_<slug>.json``, see ``benchmarks/conftest.py``)
+  with per-stage wall times. A stage regresses when its *share* of the
+  run's traced wall time grows by more than ``--stage-share`` points
+  *and* its absolute time grows by ``--min-seconds`` — this catches one
+  stage (say, clustering) quietly eating the budget another stage freed,
+  which the total-wall-clock gate cannot see. Stages or manifests
+  present on only one side are reported but never fail the gate.
 
 Usage (what the ``perf-trend`` workflow job runs; the tracked selection
 spans the consensus-bound figures, the min-coverage sweep, the skew
@@ -42,6 +50,7 @@ import sys
 from pathlib import Path
 
 TIMINGS_NAME = "BENCH_timings.json"
+MANIFEST_GLOB = "MANIFEST_*.json"
 
 
 def load_timings(directory: Path) -> dict:
@@ -158,6 +167,57 @@ def compare_series(baseline_dir, fresh_dir, rtol):
     return problems, notes
 
 
+def compare_stages(baseline_dir, fresh_dir, share_tolerance, min_seconds):
+    """Per-stage wall-time comparison over the run manifests.
+
+    Compares every ``MANIFEST_*.json`` present in *both* directories. A
+    stage drifts when its share of the run's ``total_seconds`` grows by
+    more than ``share_tolerance`` (an absolute fraction: 0.15 = 15
+    percentage points) *and* its own wall time grows by at least
+    ``min_seconds`` — the share bar catches rebalancing the total-time
+    gate cannot see, the absolute bar keeps fast runs' share jitter out.
+
+    Returns ``(problems, notes)``: ``problems`` are ``(file, stage,
+    base_share, fresh_share, base_s, fresh_s)`` rows that fail the gate;
+    ``notes`` report manifests or stages present on only one side.
+    """
+    problems = []
+    notes = []
+    baseline_dir, fresh_dir = Path(baseline_dir), Path(fresh_dir)
+    for base_path in sorted(baseline_dir.glob(MANIFEST_GLOB)):
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            notes.append(f"{base_path.name}: not produced by the fresh run")
+            continue
+        base = json.loads(base_path.read_text())
+        new = json.loads(fresh_path.read_text())
+        base_total = float(base.get("total_seconds", 0.0))
+        new_total = float(new.get("total_seconds", 0.0))
+        base_stages = base.get("stages", {})
+        new_stages = new.get("stages", {})
+        for name in sorted(set(base_stages) | set(new_stages)):
+            if name not in new_stages:
+                notes.append(
+                    f"{base_path.name}: stage {name!r} missing from "
+                    "fresh run"
+                )
+                continue
+            if name not in base_stages:
+                notes.append(
+                    f"{base_path.name}: stage {name!r} new in fresh run"
+                )
+                continue
+            base_s = float(base_stages[name].get("seconds", 0.0))
+            fresh_s = float(new_stages[name].get("seconds", 0.0))
+            base_share = base_s / base_total if base_total > 0 else 0.0
+            fresh_share = fresh_s / new_total if new_total > 0 else 0.0
+            if (fresh_share - base_share > share_tolerance
+                    and fresh_s - base_s >= min_seconds):
+                problems.append((base_path.name, name, base_share,
+                                 fresh_share, base_s, fresh_s))
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when fresh benchmark evidence regresses past "
@@ -181,6 +241,13 @@ def main(argv=None) -> int:
                              "substrings (default: all)")
     parser.add_argument("--skip-series", action="store_true",
                         help="compare timings only")
+    parser.add_argument("--stage", action="store_true",
+                        help="also compare per-stage wall-time shares "
+                             "from the MANIFEST_*.json run manifests")
+    parser.add_argument("--stage-share", type=float, default=0.15,
+                        help="allowed growth of a stage's share of traced "
+                             "wall time, in absolute fraction "
+                             "(default 0.15 = 15 percentage points)")
     args = parser.parse_args(argv)
 
     for directory in (args.baseline, args.fresh):
@@ -213,9 +280,23 @@ def main(argv=None) -> int:
         for name, where, a, b in series_problems:
             print(f"series-drift  {name}: {where}: {a!r} -> {b!r}")
 
-    if regressions or series_problems:
+    stage_problems = []
+    if args.stage:
+        stage_problems, stage_notes = compare_stages(
+            args.baseline, args.fresh, args.stage_share, args.min_seconds
+        )
+        for note in stage_notes:
+            print(f"stage-note    {note}")
+        for name, stage, base_share, fresh_share, base_s, fresh_s in \
+                stage_problems:
+            print(f"stage-drift   {name}: {stage}: "
+                  f"{base_share:.1%} ({base_s:.3f}s) -> "
+                  f"{fresh_share:.1%} ({fresh_s:.3f}s)")
+
+    if regressions or series_problems or stage_problems:
         print(f"\nFAIL: {len(regressions)} timing regression(s), "
-              f"{len(series_problems)} series drift(s) past tolerance")
+              f"{len(series_problems)} series drift(s), "
+              f"{len(stage_problems)} stage drift(s) past tolerance")
         return 1
     print(f"\nOK: {sum(1 for r in rows if r[0] in ('ok', 'improvement'))} "
           f"tracked timings within +{args.tolerance:.0%}, series stable")

@@ -10,7 +10,12 @@ Besides the printed tables, every run leaves machine-readable evidence in
 * ``BENCH_<slug>.json`` — the x values and series of each printed table
   (written by :func:`print_series`);
 * ``BENCH_timings.json`` — wall-clock seconds per benchmark test,
-  merge-updated across runs so partial reruns refresh only their rows.
+  merge-updated across runs so partial reruns refresh only their rows;
+* ``MANIFEST_<slug>.json`` — one run manifest per benchmark test (the
+  :func:`bench_tracer` autouse fixture activates a tracer around every
+  test): per-stage wall times and pipeline counters, so
+  ``check_trend.py --stage`` can flag a single stage's share of wall
+  time drifting even when the total stays within tolerance.
 
 The artifacts are committed deliberately: like EXPERIMENTS.md, they are
 the reproduction record (and the perf evidence PRs point at), so series
@@ -107,3 +112,30 @@ def pytest_runtest_logreport(report):
 @pytest.fixture
 def bench_rng():
     return np.random.default_rng(2022)
+
+
+@pytest.fixture(autouse=True)
+def bench_tracer(request):
+    """Trace every benchmark test and write its manifest next to the
+    series evidence.
+
+    The manifest (``MANIFEST_<slug>.json``) records the per-stage wall
+    times and pipeline counters of everything the test decoded, which is
+    what ``check_trend.py --stage`` gates on. Tests that never touch an
+    instrumented path leave no spans and no manifest. Per-decode store
+    manifests are switched off (``auto_manifest``): a sweep decodes
+    hundreds of times and only the end-of-test aggregate matters here.
+    """
+    from repro.observability import Tracer, build_manifest, use_tracer
+
+    tracer = Tracer()
+    tracer.auto_manifest = False
+    tracer.context["nodeid"] = request.node.nodeid
+    tracer.context["bench_seed"] = 2022
+    with use_tracer(tracer):
+        yield tracer
+    if not tracer.roots:
+        return
+    OUT_DIR.mkdir(exist_ok=True)
+    manifest = build_manifest(tracer, request.node.nodeid)
+    manifest.save(OUT_DIR / f"MANIFEST_{_slugify(request.node.nodeid)}.json")

@@ -157,6 +157,29 @@ def main() -> None:
           f"exact={bool(np.array_equal(decoded, payload))} "
           f"clean={report.clean} in {pool_ms:.0f}ms")
 
+    # Every run above was silently instrumented: the decode path carries
+    # stage spans and pipeline counters that the default NullTracer
+    # no-ops away. Activate a real tracer and the same decode leaves a
+    # machine-checkable run manifest — per-stage wall times, RS
+    # failure-reason histogram, cluster/consensus counters, config
+    # fingerprint. `python -m repro.cli report <file>` renders a saved
+    # one, and with two files diffs them stage by stage.
+    from repro.observability import Tracer, use_tracer
+
+    tracer = Tracer()
+    tracer.context["seed"] = 7
+    with use_tracer(tracer):
+        pool = simulator.sequence_store(image, rng, labeled=False)
+        store.decode_pool(pool, payload.size)
+    manifest = tracer.manifests[-1]
+    heaviest = max(manifest.stages, key=manifest.stage_seconds)
+    reasons = manifest.histogram("rs.failure_reasons")
+    print(f"traced decode: {len(manifest.stages)} stages, heaviest "
+          f"{heaviest} at {manifest.stage_share(heaviest):.0%} of "
+          f"{manifest.total_seconds * 1000:.0f}ms; codeword outcomes "
+          f"{reasons} (save with manifest.save('run.json'), render with "
+          f"`python -m repro.cli report run.json`)")
+
 
 if __name__ == "__main__":
     main()

@@ -120,6 +120,31 @@ Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
 :class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
 per-position error rates for reliability-skew scenarios
 (:func:`repro.analysis.positional_confidence_profile` measures them).
+
+The decode path is observable end to end (``repro.observability``):
+activate a tracer and every stage — channel, clustering, consensus,
+receive, RS errata — records its wall time and pipeline counters, and
+each store decode leaves a schema-versioned :class:`~repro.observability.
+RunManifest` (config fingerprint, per-stage timings, metric snapshot)::
+
+    from repro.observability import Tracer, use_tracer, render_manifest
+
+    tracer = Tracer()
+    tracer.context["seed"] = 0
+    with use_tracer(tracer):
+        pool = simulator.sequence_store(image, rng=0, labeled=False)
+        decoded, report = store.decode_pool(pool, bits.size)
+    manifest = tracer.manifests[-1]
+    print(render_manifest(manifest))     # stage table, counters, reasons
+    manifest.save("run.json")            # machine-checkable evidence
+
+``python -m repro.cli report run.json [baseline.json]`` renders a saved
+manifest (or diffs two — stage shares, counters, config fingerprints),
+and ``benchmarks/check_trend.py --stage`` gates CI on per-stage drift
+using the manifests every benchmark run emits. With no tracer active the
+default ``NullTracer`` makes every instrumentation site a no-op: decode
+output is byte-identical and the overhead is budgeted under 5% by
+``tests/integration/test_perf_budget.py``.
 """
 
 from repro.channel import (

@@ -39,6 +39,7 @@ from repro.channel.coverage import CoverageModel, FixedCoverage
 from repro.channel.errors import ErrorModel
 from repro.channel.readbatch import ReadBatch
 from repro.codec.basemap import bases_to_indices
+from repro.observability.trace import get_tracer
 from repro.utils.rng import RngLike, ensure_rng
 
 #: Channel stages accept either a uniform per-position model or a
@@ -343,32 +344,45 @@ class BatchedChannelEngine:
         generator: np.random.Generator,
     ) -> ReadBatch:
         n_strands = lengths.size
-        # Rate maps must cover the designed strands; beyond-design
-        # positions (molecules lengthened by synthesis insertions) clamp
-        # to the map's last entry inside ErrorRateMap.per_base.
-        longest = int(lengths.max()) if n_strands else 0
-        for model in (self.sequencing_model, self.synthesis_model):
-            if isinstance(model, ErrorRateMap) and model.length < longest:
-                raise ValueError(
-                    f"rate map covers {model.length} positions but a "
-                    f"designed strand has {longest}"
+        tracer = get_tracer()
+        with tracer.span("channel.sequence", n_strands=n_strands) as span:
+            # Rate maps must cover the designed strands; beyond-design
+            # positions (molecules lengthened by synthesis insertions)
+            # clamp to the map's last entry inside ErrorRateMap.per_base.
+            longest = int(lengths.max()) if n_strands else 0
+            for model in (self.sequencing_model, self.synthesis_model):
+                if isinstance(model, ErrorRateMap) and model.length < longest:
+                    raise ValueError(
+                        f"rate map covers {model.length} positions but a "
+                        f"designed strand has {longest}"
+                    )
+            if self.synthesis_model is not None:
+                # One synthesis "read" per strand: the physical molecule.
+                # Its errors are shared by every sequencing read of the
+                # cluster.
+                buffer, lengths = batched_ids_pass(
+                    buffer, offsets, lengths,
+                    np.arange(n_strands, dtype=np.int64),
+                    self.synthesis_model, generator, self.n_alphabet,
                 )
-        if self.synthesis_model is not None:
-            # One synthesis "read" per strand: the physical molecule. Its
-            # errors are shared by every sequencing read of the cluster.
-            buffer, lengths = batched_ids_pass(
-                buffer, offsets, lengths,
-                np.arange(n_strands, dtype=np.int64),
-                self.synthesis_model, generator, self.n_alphabet,
+                offsets = np.cumsum(lengths) - lengths
+            template_of_read = np.repeat(
+                np.arange(n_strands, dtype=np.int64), counts
             )
-            offsets = np.cumsum(lengths) - lengths
-        template_of_read = np.repeat(
-            np.arange(n_strands, dtype=np.int64), counts
-        )
-        out, out_lengths = batched_ids_pass(
-            buffer, offsets, lengths, template_of_read,
-            self.sequencing_model, generator, self.n_alphabet,
-        )
+            out, out_lengths = batched_ids_pass(
+                buffer, offsets, lengths, template_of_read,
+                self.sequencing_model, generator, self.n_alphabet,
+            )
+            span.set(n_reads=template_of_read.size)
+            if tracer.is_recording:
+                metrics = tracer.metrics
+                metrics.counter("channel.strands_in").add(int(n_strands))
+                metrics.counter("channel.reads_out").add(
+                    int(template_of_read.size)
+                )
+                metrics.counter("channel.bases_out").add(
+                    int(out_lengths.sum())
+                )
         return ReadBatch(
             out,
             np.cumsum(out_lengths) - out_lengths,

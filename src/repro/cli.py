@@ -1,15 +1,19 @@
 """Command-line interface: encode files to DNA and decode them back.
 
-The CLI wraps the archive + pipeline stack into two commands::
+The CLI wraps the archive + pipeline stack into three commands::
 
     python -m repro.cli encode --layout gini -o store.dna photo1.jpg notes.txt
     python -m repro.cli decode store.dna -d restored/
+    python -m repro.cli report run.json [baseline.json]
 
 ``encode`` packs the input files into an archive, encodes it into one or
 more encoding units, and writes a textual ``.dna`` file with one strand
 per line (plus a small JSON header describing the geometry). ``decode``
 reads the strand file — optionally after simulated sequencing noise with
-``--error-rate``/``--coverage`` — and restores the files.
+``--error-rate``/``--coverage`` — and restores the files. ``report``
+renders a :class:`~repro.observability.manifest.RunManifest` JSON file
+(what a traced decode emits) as a stage/metric report, or — given two
+manifests — the stage-time and counter deltas between them.
 
 The strand file is deliberately human-readable: the point of the format
 is to make the pipeline's output inspectable, not to be efficient.
@@ -167,6 +171,34 @@ def _decode(args) -> int:
     return 0
 
 
+def _report(args) -> int:
+    from repro.observability import (
+        ManifestError, RunManifest, diff_manifests, render_manifest,
+    )
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except FileNotFoundError:
+        print(f"error: {args.manifest} is not a file", file=sys.stderr)
+        return 1
+    except (ManifestError, json.JSONDecodeError) as exc:
+        print(f"error: {args.manifest}: {exc}", file=sys.stderr)
+        return 1
+    if args.baseline is None:
+        print(render_manifest(manifest), end="")
+        return 0
+    try:
+        baseline = RunManifest.load(args.baseline)
+    except FileNotFoundError:
+        print(f"error: {args.baseline} is not a file", file=sys.stderr)
+        return 1
+    except (ManifestError, json.JSONDecodeError) as exc:
+        print(f"error: {args.baseline}: {exc}", file=sys.stderr)
+        return 1
+    print(diff_manifests(baseline, manifest), end="")
+    return 0
+
+
 def _staged_unrank(pipeline, prioritized, n_bits) -> bytes:
     """DnaMapper's metadata-free staged decode (directory first)."""
     from repro.files.archive import directory_file_sizes, directory_size_bits
@@ -212,6 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="mean coverage for simulated sequencing")
     decode.add_argument("--seed", type=int, default=0)
     decode.set_defaults(func=_decode)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run-manifest JSON file, or diff two of them",
+    )
+    report.add_argument("manifest", help="RunManifest JSON to render")
+    report.add_argument(
+        "baseline", nargs="?", default=None,
+        help="optional baseline manifest; when given, print the "
+             "stage-time and counter deltas baseline -> manifest",
+    )
+    report.set_defaults(func=_report)
     return parser
 
 

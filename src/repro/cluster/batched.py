@@ -38,6 +38,7 @@ import numpy as np
 from repro.channel.readbatch import ReadBatch
 from repro.cluster.distance import banded_edit_distances_stack
 from repro.cluster.signatures import batch_signatures, l1_distances
+from repro.observability.trace import get_tracer
 
 
 class BatchedGreedyClusterer:
@@ -102,6 +103,9 @@ class BatchedGreedyClusterer:
         assignment = np.full(stop - start, -1, dtype=np.int64)
         active = np.arange(start, stop, dtype=np.int64)
         n_clusters = 0
+        # Round-loop counters accumulate in local ints (one add per
+        # *founder round*, never per read) and emit once per call.
+        screened = pruned = dp_rows = 0
         while active.size:
             founder = int(active[0])
             cluster_id = n_clusters
@@ -119,6 +123,9 @@ class BatchedGreedyClusterer:
                 l1 = l1_distances(signatures[rest], signatures[founder])
                 candidate_mask &= l1 <= 2 * self.qgram_size * threshold
             candidates = rest[candidate_mask]
+            screened += rest.size
+            pruned += rest.size - candidates.size
+            dp_rows += candidates.size
             matched = np.zeros(rest.size, dtype=bool)
             if candidates.size:
                 distances = banded_edit_distances_stack(
@@ -133,6 +140,14 @@ class BatchedGreedyClusterer:
                 assignment[candidates[within] - start] = cluster_id
                 matched[candidate_mask] = within
             active = rest[~matched]
+        tracer = get_tracer()
+        if tracer.is_recording:
+            metrics = tracer.metrics
+            metrics.counter("cluster.reads_in").add(stop - start)
+            metrics.counter("cluster.founder_rounds").add(n_clusters)
+            metrics.counter("cluster.pairs_screened").add(screened)
+            metrics.counter("cluster.prefilter_pruned").add(pruned)
+            metrics.counter("cluster.dp_comparisons").add(dp_rows)
         return assignment, n_clusters
 
     # -- batch entry points --------------------------------------------------
@@ -149,8 +164,12 @@ class BatchedGreedyClusterer:
         (``pipeline.receive``, ``DnaStore.decode`` via
         :meth:`~repro.core.store.DnaStore.decode_pool`) takes unchanged.
         """
-        assignment, n_clusters = self.assign(batch)
-        return self._relabel(batch, assignment, n_clusters)
+        with get_tracer().span(
+            "cluster.batch", n_reads=batch.n_reads
+        ) as span:
+            assignment, n_clusters = self.assign(batch)
+            span.set(n_clusters=n_clusters)
+            return self._relabel(batch, assignment, n_clusters)
 
     def cluster_pools(
         self,
@@ -176,30 +195,40 @@ class BatchedGreedyClusterer:
         """
         if pool_boundaries is None:
             pool_boundaries = np.arange(batch.n_clusters + 1, dtype=np.int64)
-        row_bounds = batch.group_rows(pool_boundaries)
-        matrix, lengths = self._padded_int16(batch)
-        signatures = (batch_signatures(batch, self.qgram_size)
-                      if self.qgram_size else None)
-        n_pools = row_bounds.size - 1
-        assignment = np.full(batch.n_reads, -1, dtype=np.int64)
-        source_parts = []
-        counts = np.zeros(n_pools, dtype=np.int64)
-        offset = 0
-        for p in range(n_pools):
-            start, stop = int(row_bounds[p]), int(row_bounds[p + 1])
-            local, k = self._assign_rows(start, stop, matrix, lengths,
-                                         signatures)
-            assignment[start:stop] = local + offset
-            source_parts.append(np.arange(k, dtype=np.int64))
-            counts[p] = k
-            offset += k
-        boundaries = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
-        )
-        source_indices = (np.concatenate(source_parts) if source_parts
-                          else np.zeros(0, dtype=np.int64))
-        labeled = self._relabel(batch, assignment, int(offset),
-                                source_indices=source_indices)
+        tracer = get_tracer()
+        with tracer.span(
+            "cluster.pools", n_reads=batch.n_reads,
+            n_pools=pool_boundaries.size - 1,
+        ) as span:
+            row_bounds = batch.group_rows(pool_boundaries)
+            matrix, lengths = self._padded_int16(batch)
+            signatures = (batch_signatures(batch, self.qgram_size)
+                          if self.qgram_size else None)
+            n_pools = row_bounds.size - 1
+            assignment = np.full(batch.n_reads, -1, dtype=np.int64)
+            source_parts = []
+            counts = np.zeros(n_pools, dtype=np.int64)
+            offset = 0
+            for p in range(n_pools):
+                start, stop = int(row_bounds[p]), int(row_bounds[p + 1])
+                local, k = self._assign_rows(start, stop, matrix, lengths,
+                                             signatures)
+                assignment[start:stop] = local + offset
+                source_parts.append(np.arange(k, dtype=np.int64))
+                counts[p] = k
+                offset += k
+            boundaries = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+            )
+            source_indices = (np.concatenate(source_parts) if source_parts
+                              else np.zeros(0, dtype=np.int64))
+            span.set(n_clusters=int(offset))
+            if tracer.is_recording:
+                tracer.metrics.counter("cluster.recovered_clusters").add(
+                    int(offset)
+                )
+            labeled = self._relabel(batch, assignment, int(offset),
+                                    source_indices=source_indices)
         return labeled, boundaries
 
     @staticmethod

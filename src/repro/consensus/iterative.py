@@ -42,6 +42,7 @@ import numpy as np
 from repro.codec.basemap import bases_to_indices, indices_to_bases
 from repro.consensus.base import Reconstructor, pack_index_clusters
 from repro.consensus.two_way import TwoWayReconstructor
+from repro.observability.trace import get_tracer
 
 
 class IterativeReconstructor(Reconstructor):
@@ -132,7 +133,13 @@ class IterativeReconstructor(Reconstructor):
 
         live = np.unique(cluster_of)
         active = live
+        # Iteration counters accumulate locally (one add per sweep, never
+        # per cluster) and emit once after the loop.
+        iterations = 0
+        active_cluster_sweeps = 0
         for _ in range(self.max_iterations):
+            iterations += 1
+            active_cluster_sweeps += int(active.size)
             if active.size < live.size:
                 sub = np.isin(cluster_of, active)
                 reads_a, lengths_a = padded[sub], lengths[sub]
@@ -149,6 +156,14 @@ class IterativeReconstructor(Reconstructor):
             active = active[changed]
             if active.size == 0:
                 break
+        tracer = get_tracer()
+        if tracer.is_recording:
+            metrics = tracer.metrics
+            metrics.counter("consensus.refined_clusters").add(int(live.size))
+            metrics.counter("consensus.iterations").add(iterations)
+            metrics.counter("consensus.active_cluster_sweeps").add(
+                active_cluster_sweeps
+            )
 
         # The pointer-scan seed can suffer rare desynchronization cascades
         # that positional re-voting cannot undo (it refines symbols, not
@@ -173,6 +188,10 @@ class IterativeReconstructor(Reconstructor):
             local_live, weights=distance_majority, minlength=live.size
         )
         better = total_majority < total_estimate
+        if tracer.is_recording:
+            tracer.metrics.counter("consensus.majority_arbitrations").add(
+                int(better.sum())
+            )
         estimates[live[better]] = majority[better]
         return estimates
 

@@ -52,6 +52,7 @@ from repro.channel.errors import ErrorModel
 from repro.codec.basemap import bases_to_indices, indices_to_bases
 from repro.consensus.base import Reconstructor, pack_index_clusters
 from repro.consensus.two_way import TwoWayReconstructor
+from repro.observability.trace import get_tracer
 
 _TINY = 1e-300
 
@@ -197,7 +198,14 @@ class PosteriorReconstructor(Reconstructor):
         padded = np.ascontiguousarray(padded[:, :width])
 
         active = np.unique(cluster_of)
+        n_live = int(active.size)
+        # Iteration counters accumulate locally (one add per lattice
+        # sweep, never per cluster) and emit once after the loop.
+        iterations = 0
+        active_cluster_sweeps = 0
         for _ in range(self.max_iterations):
+            iterations += 1
+            active_cluster_sweeps += int(active.size)
             sub = np.isin(cluster_of, active)
             if sub.all():
                 reads_a, lengths_a, clusters_a = padded, lengths, cluster_of
@@ -217,6 +225,14 @@ class PosteriorReconstructor(Reconstructor):
             active = active[changed]
             if active.size == 0:
                 break
+        tracer = get_tracer()
+        if tracer.is_recording:
+            metrics = tracer.metrics
+            metrics.counter("consensus.refined_clusters").add(n_live)
+            metrics.counter("consensus.iterations").add(iterations)
+            metrics.counter("consensus.active_cluster_sweeps").add(
+                active_cluster_sweeps
+            )
         return estimates, confidence
 
     def _posterior_vote_ballots(

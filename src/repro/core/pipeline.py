@@ -28,8 +28,10 @@ from repro.consensus.base import Reconstructor
 from repro.consensus.two_way import TwoWayReconstructor
 from repro.core.layout import LayoutPolicy, MatrixConfig, build_layout
 from repro.core.ranking import identity_ranking
+from repro.ecc.batched import reason_counts
 from repro.ecc.reed_solomon import DecodeFailure, ReedSolomon
 from repro.ecc.reference import ReferenceReedSolomon
+from repro.observability.trace import get_tracer
 from repro.utils.bitio import pack_uint
 
 
@@ -396,9 +398,10 @@ class DnaStoragePipeline:
             confidence_threshold is not None
             and hasattr(self.reconstructor, "reconstruct_with_confidence")
         )
-        estimates, confidences = self._reconstruct_unit(
-            clusters, use_confidence
-        )
+        with get_tracer().span("pipeline.receive"):
+            estimates, confidences = self._reconstruct_unit(
+                clusters, use_confidence
+            )
         for estimate, confidence in zip(estimates, confidences):
             column, symbols = self._parse_indices(estimate)
             if column is None:
@@ -458,6 +461,40 @@ class DnaStoragePipeline:
             confidence_threshold: as in :meth:`receive`, applied to every
                 unit.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.receive_many", n_clusters=batch.n_clusters
+        ) as span:
+            received = self._receive_many_impl(
+                batch, unit_boundaries, confidence_threshold
+            )
+            if tracer.is_recording:
+                span.set(n_units=len(received))
+                metrics = tracer.metrics
+                metrics.counter("receive.clusters_in").add(
+                    int(batch.n_clusters)
+                )
+                metrics.counter("receive.units_out").add(len(received))
+                metrics.counter("receive.invalid_strands").add(
+                    sum(unit.invalid_strands for unit in received)
+                )
+                metrics.counter("receive.duplicate_strands").add(
+                    sum(len(unit.duplicate_columns) for unit in received)
+                )
+                metrics.counter("receive.erased_columns").add(
+                    sum(len(unit.erased_columns) for unit in received)
+                )
+                metrics.counter("receive.cell_erasures").add(
+                    sum(len(unit.cell_erasures) for unit in received)
+                )
+        return received
+
+    def _receive_many_impl(
+        self,
+        batch: ReadBatch,
+        unit_boundaries: Optional[np.ndarray],
+        confidence_threshold: Optional[float],
+    ) -> List[ReceivedUnit]:
         config = self.matrix_config
         if unit_boundaries is None:
             n_units, remainder = divmod(batch.n_clusters, config.n_columns)
@@ -492,25 +529,38 @@ class DnaStoragePipeline:
             and hasattr(self.reconstructor, "reconstruct_with_confidence")
         )
         confidences: Optional[np.ndarray] = None
-        if use_confidence:
-            results = self.reconstructor.reconstruct_batch_with_confidence(
-                live, length
-            )
-            if results:
-                estimates = np.stack(
-                    [np.asarray(e, dtype=np.int64) for e, _ in results]
-                )
-                confidences = np.stack(
-                    [np.asarray(c, dtype=np.float64) for _, c in results]
-                )
+        tracer = get_tracer()
+        if tracer.is_recording:
+            # Counted here so every reconstructor (two-way, iterative,
+            # posterior, reference) reports uniformly; the batched
+            # refiners add their own iteration/sweep counters on top.
+            tracer.metrics.counter("consensus.clusters").add(live.n_clusters)
+            tracer.metrics.counter("consensus.reads").add(live.n_reads)
+        with tracer.span(
+            "consensus.reconstruct",
+            n_clusters=live.n_clusters,
+            n_reads=live.n_reads,
+        ):
+            if use_confidence:
+                results = \
+                    self.reconstructor.reconstruct_batch_with_confidence(
+                        live, length
+                    )
+                if results:
+                    estimates = np.stack(
+                        [np.asarray(e, dtype=np.int64) for e, _ in results]
+                    )
+                    confidences = np.stack(
+                        [np.asarray(c, dtype=np.float64) for _, c in results]
+                    )
+                else:
+                    estimates = np.zeros((0, length), dtype=np.int64)
+                    confidences = np.zeros((0, length), dtype=np.float64)
             else:
-                estimates = np.zeros((0, length), dtype=np.int64)
-                confidences = np.zeros((0, length), dtype=np.float64)
-        else:
-            estimates = np.asarray(
-                self.reconstructor.reconstruct_batch(live, length),
-                dtype=np.int64,
-            )
+                estimates = np.asarray(
+                    self.reconstructor.reconstruct_batch(live, length),
+                    dtype=np.int64,
+                )
 
         # Vectorized counterpart of _parse_indices over the whole stack:
         # group bases into base-4 big-endian symbols, split off the index.
@@ -598,14 +648,15 @@ class DnaStoragePipeline:
         unit; ``ranking``/``extra_erasure_columns`` apply per unit.
         Returns one ``(bits, DecodeReport)`` pair per unit.
         """
-        received = self.receive_many(batch, unit_boundaries)
-        if np.ndim(n_data_bits) == 0:
-            sizes = [int(n_data_bits)] * len(received)
-        else:
-            sizes = [int(size) for size in n_data_bits]
-        return self.correct_many(
-            received, sizes, ranking, extra_erasure_columns
-        )
+        with get_tracer().span("pipeline.decode_many"):
+            received = self.receive_many(batch, unit_boundaries)
+            if np.ndim(n_data_bits) == 0:
+                sizes = [int(n_data_bits)] * len(received)
+            else:
+                sizes = [int(size) for size in n_data_bits]
+            return self.correct_many(
+                received, sizes, ranking, extra_erasure_columns
+            )
 
     def _reconstruct_unit(
         self,
@@ -745,6 +796,18 @@ class DnaStoragePipeline:
         Returns:
             One ``(corrected_matrix, DecodeReport)`` pair per unit.
         """
+        with get_tracer().span(
+            "pipeline.correct", n_units=len(received_units)
+        ):
+            return self._correct_matrix_many_impl(
+                received_units, extra_erasure_columns
+            )
+
+    def _correct_matrix_many_impl(
+        self,
+        received_units: Sequence[ReceivedUnit],
+        extra_erasure_columns: Sequence[int] = (),
+    ) -> List[Tuple[np.ndarray, DecodeReport]]:
         config = self.matrix_config
         n_units = len(received_units)
         extra = [int(c) for c in extra_erasure_columns]
@@ -814,11 +877,37 @@ class DnaStoragePipeline:
         # decode. Rows whose wave-1 mask already was hard-only would just
         # repeat the identical call, so they keep their verdict.
         retry = np.flatnonzero(~ok & kept_soft.any(axis=1))
+        second = None
         if retry.size:
             second = rs.decode_many(words[retry], hard_mask[retry])
             ok[retry] = second.ok
             messages[retry] = second.messages
             n_fixed[retry] = second.n_corrected
+
+        tracer = get_tracer()
+        if tracer.is_recording:
+            metrics = tracer.metrics
+            metrics.counter("rs.codewords").add(words.shape[0])
+            metrics.counter("rs.hard_erasures").add(int(hard_mask.sum()))
+            metrics.counter("rs.soft_flags").add(int(soft_mask.sum()))
+            metrics.counter("rs.soft_kept").add(int(kept_soft.sum()))
+            metrics.counter("rs.erasure_budget").add(int(budget.sum()))
+            metrics.counter("rs.corrected_symbols").add(
+                int(np.where(ok, n_fixed, 0).sum())
+            )
+            metrics.counter("rs.retry_rows").add(int(retry.size))
+            if second is not None:
+                metrics.counter("rs.retry_recovered").add(
+                    int(second.ok.sum())
+                )
+            # Final per-row verdicts: wave-1 reasons with the retried
+            # rows overwritten by their hard-only wave-2 verdict.
+            final_reasons = result.reasons.copy()
+            if second is not None:
+                final_reasons[retry] = second.reasons
+            tracer.metrics.histogram("rs.failure_reasons").observe_counts(
+                reason_counts(final_reasons)
+            )
 
         # Scatter corrected data symbols back; failed codewords keep
         # their received symbols.

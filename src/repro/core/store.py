@@ -37,6 +37,8 @@ from repro.channel.sequencer import ReadCluster
 from repro.cluster.batched import BatchedGreedyClusterer
 from repro.consensus.base import Reconstructor
 from repro.core.pipeline import DecodeReport, DnaStoragePipeline, EncodedUnit, PipelineConfig
+from repro.observability.manifest import build_manifest
+from repro.observability.trace import get_tracer
 
 #: Anything :meth:`DnaStore.decode` can consume: one spanning batch, one
 #: batch or cluster list per unit.
@@ -170,11 +172,17 @@ class DnaStore:
             ``(bits, StoreReport)``.
         """
         n_units = self.units_needed(n_data_bits)
-        batch, boundaries = self._spanning_batch(reads, n_units)
-        received = self.pipeline.receive_many(
-            batch, boundaries, confidence_threshold=confidence_threshold
-        )
-        return self._correct_units(received, n_data_bits, ranking)
+        tracer = get_tracer()
+        with tracer.span(
+            "store.decode", n_units=n_units, n_data_bits=n_data_bits
+        ):
+            batch, boundaries = self._spanning_batch(reads, n_units)
+            received = self.pipeline.receive_many(
+                batch, boundaries, confidence_threshold=confidence_threshold
+            )
+            result = self._correct_units(received, n_data_bits, ranking)
+        self._emit_manifest(tracer, "store.decode")
+        return result
 
     def decode_pool(
         self,
@@ -223,11 +231,18 @@ class DnaStore:
             clusterer = BatchedGreedyClusterer.for_strand_length(
                 self.pipeline.matrix_config.strand_length
             )
-        labeled, boundaries = clusterer.cluster_pools(pool)
-        received = self.pipeline.receive_many(
-            labeled, boundaries, confidence_threshold=confidence_threshold
-        )
-        return self._correct_units(received, n_data_bits, ranking)
+        tracer = get_tracer()
+        with tracer.span(
+            "store.decode_pool", n_units=n_units, n_reads=pool.n_reads,
+            n_data_bits=n_data_bits,
+        ):
+            labeled, boundaries = clusterer.cluster_pools(pool)
+            received = self.pipeline.receive_many(
+                labeled, boundaries, confidence_threshold=confidence_threshold
+            )
+            result = self._correct_units(received, n_data_bits, ranking)
+        self._emit_manifest(tracer, "store.decode_pool")
+        return result
 
     def decode_units(
         self,
@@ -252,6 +267,25 @@ class DnaStore:
             for unit_reads in self._per_unit_reads(reads, n_units)
         ]
         return self._correct_units(received, n_data_bits, ranking)
+
+    def _emit_manifest(self, tracer, name: str) -> None:
+        """Snapshot a recording tracer into a RunManifest.
+
+        Manifests aggregate *the whole tracer so far* — channel spans
+        recorded earlier under the same tracer (e.g. by
+        ``SequencingSimulator``) are part of the run's story, and a
+        tracer reused across several decodes accumulates all of them
+        (use one tracer per run for one-run manifests). Tracers with
+        ``auto_manifest`` off (long decode loops that build one
+        manifest at the end, e.g. the benchmark harness) skip this.
+        """
+        if not tracer.is_recording or not getattr(
+            tracer, "auto_manifest", True
+        ):
+            return
+        tracer.attach_manifest(
+            build_manifest(tracer, name, config=self.pipeline.config)
+        )
 
     def _correct_units(self, received, n_data_bits, ranking):
         """Batched RS correction + stripe reassembly (shared tail).

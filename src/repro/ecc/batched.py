@@ -32,9 +32,11 @@ to the frozen scalar reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
+
+from repro.observability.trace import get_tracer
 
 #: Per-row failure reasons (``BatchDecodeResult.reasons``). ``OK`` is 0 so
 #: ``reasons.astype(bool)`` is the failure mask.
@@ -55,6 +57,24 @@ REASON_LABELS = {
     DERIVATIVE_ZERO: "Forney derivative evaluated to zero",
     RESIDUAL_SYNDROMES: "residual syndromes after correction",
 }
+
+
+def reason_counts(reasons: np.ndarray) -> Dict[str, int]:
+    """Collapse a reason-code array into a ``{label: count}`` dict.
+
+    Only labels that actually occur appear; the single bincount here is
+    shared by :meth:`BatchDecodeResult.reason_counts` and the metrics
+    layer's RS failure-reason histogram, so the two can never disagree.
+    """
+    reasons = np.asarray(reasons, dtype=np.int64)
+    if reasons.size == 0:
+        return {}
+    counts = np.bincount(reasons, minlength=len(REASON_LABELS))
+    return {
+        REASON_LABELS[code]: int(count)
+        for code, count in enumerate(counts)
+        if count
+    }
 
 
 @dataclass
@@ -85,6 +105,11 @@ class BatchDecodeResult:
     def failed_rows(self) -> np.ndarray:
         """Indices of rows that did not decode, ascending."""
         return np.flatnonzero(~self.ok)
+
+    def reason_counts(self) -> Dict[str, int]:
+        """Per-row outcomes as ``{label: count}`` (see
+        :func:`reason_counts`); ``"ok"`` counts the successful rows."""
+        return reason_counts(self.reasons)
 
 
 ErasureTable = Union[None, np.ndarray, Sequence[Sequence[int]]]
@@ -140,36 +165,38 @@ def decode_words(
     nsym, k = rs.nsym, rs.k
     n_rows = words.shape[0]
 
-    rho = erasure_mask.sum(axis=1).astype(np.int64)
-    reasons = np.zeros(n_rows, dtype=np.int64)
-    reasons[rho > nsym] = TOO_MANY_ERASURES
+    with get_tracer().span("rs.decode_words", n_rows=n_rows) as span:
+        rho = erasure_mask.sum(axis=1).astype(np.int64)
+        reasons = np.zeros(n_rows, dtype=np.int64)
+        reasons[rho > nsym] = TOO_MANY_ERASURES
 
-    zeroed = np.where(erasure_mask, 0, words)
-    messages = zeroed[:, :k].copy()
-    if n_rows == 0:
-        return BatchDecodeResult(
-            messages=messages,
-            n_corrected=np.zeros(0, dtype=np.int64),
-            ok=np.ones(0, dtype=bool),
-            reasons=reasons,
-        )
+        zeroed = np.where(erasure_mask, 0, words)
+        messages = zeroed[:, :k].copy()
+        if n_rows == 0:
+            return BatchDecodeResult(
+                messages=messages,
+                n_corrected=np.zeros(0, dtype=np.int64),
+                ok=np.ones(0, dtype=bool),
+                reasons=reasons,
+            )
 
-    syndromes = rs.syndromes_many(zeroed)
-    dirty = np.any(syndromes != 0, axis=1)
-    # Clean fast path: the zeroed word already is a codeword, so every
-    # erased symbol was genuinely zero. Count matches the scalar early
-    # return (the erasure count).
-    n_corrected = np.where(dirty, 0, rho)
+        syndromes = rs.syndromes_many(zeroed)
+        dirty = np.any(syndromes != 0, axis=1)
+        # Clean fast path: the zeroed word already is a codeword, so every
+        # erased symbol was genuinely zero. Count matches the scalar early
+        # return (the erasure count).
+        n_corrected = np.where(dirty, 0, rho)
 
-    rows = np.flatnonzero(dirty & (reasons == OK))
-    if rows.size:
-        sub = _decode_dirty(rs, zeroed[rows], syndromes[rows],
-                            erasure_mask[rows], rho[rows])
-        messages[rows] = sub.messages
-        n_corrected[rows] = sub.n_corrected
-        reasons[rows] = sub.reasons
+        rows = np.flatnonzero(dirty & (reasons == OK))
+        span.set(n_dirty=rows.size)
+        if rows.size:
+            sub = _decode_dirty(rs, zeroed[rows], syndromes[rows],
+                                erasure_mask[rows], rho[rows])
+            messages[rows] = sub.messages
+            n_corrected[rows] = sub.n_corrected
+            reasons[rows] = sub.reasons
 
-    ok = reasons == OK
+        ok = reasons == OK
     return BatchDecodeResult(
         messages=messages, n_corrected=n_corrected, ok=ok, reasons=reasons
     )

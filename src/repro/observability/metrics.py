@@ -1,0 +1,171 @@
+"""Counters, gauges and categorical histograms behind a registry.
+
+The decode path's pipeline metrics live here: per-stage input/output row
+counts, RS failure-reason histograms (straight from
+``BatchDecodeResult.reason_counts()``), erasure-budget utilization and
+retry-wave counts, consensus iteration/active-set counts, clustering
+founder-round and prefilter-pruning counters. Instruments are
+get-or-create by name on the registry the active tracer owns::
+
+    m = get_tracer().metrics
+    m.counter("rs.retry_rows").add(retry.size)
+    m.gauge("consensus.active_clusters").set(active.size)
+    m.histogram("rs.failure_reasons").observe_counts(result.reason_counts())
+
+The :data:`NULL_REGISTRY` mirrors the API with shared no-op instruments
+so untraced code pays only the method-call cost (no allocation, no
+dict writes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically growing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. the current active-set size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A categorical histogram: observation counts per label.
+
+    The decode path's distributions are label-shaped (RS failure reasons,
+    clustering prune causes), so the histogram counts labels rather than
+    bucketing floats; numeric observations pass their value as the label.
+    """
+
+    __slots__ = ("name", "counts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts: Dict[str, int] = {}
+
+    def observe(self, label, amount: int = 1) -> None:
+        key = str(label)
+        self.counts[key] = self.counts.get(key, 0) + int(amount)
+
+    def observe_counts(self, counts: Mapping) -> None:
+        """Merge a ``{label: count}`` mapping (e.g. ``reason_counts()``)."""
+        for label, amount in counts.items():
+            self.observe(label, amount)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class MetricRegistry:
+    """Get-or-create instruments by name; snapshot to plain dicts."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Plain-dict state: what manifests embed and reports render."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                name: dict(sorted(h.counts.items()))
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def add(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, label, amount: int = 1) -> None:
+        pass
+
+    def observe_counts(self, counts: Mapping) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricRegistry:
+    """No-op registry handing out shared no-op instruments."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullMetricRegistry()

@@ -1,0 +1,209 @@
+"""Human-readable rendering and diffing of run manifests.
+
+``render_manifest`` turns one :class:`~repro.observability.manifest.
+RunManifest` into a markdown-ish text report (stage wall-time table with
+shares, counters, gauges, histograms); ``diff_manifests`` compares two
+manifests stage by stage and counter by counter. Both are exposed via
+``python -m repro.cli report``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.observability.manifest import RunManifest
+
+
+def _as_manifest(manifest: Union[RunManifest, dict]) -> RunManifest:
+    if isinstance(manifest, RunManifest):
+        return manifest
+    return RunManifest.from_dict(manifest)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers).rstrip(),
+             fmt.format(*("-" * w for w in widths)).rstrip()]
+    lines.extend(fmt.format(*row).rstrip() for row in rows)
+    return lines
+
+
+def render_manifest(manifest: Union[RunManifest, dict]) -> str:
+    """Render one manifest as a text/markdown report."""
+    m = _as_manifest(manifest)
+    lines: List[str] = []
+    lines.append(f"# Run manifest: {m.name}")
+    lines.append("")
+    lines.append(f"- schema:       {m.schema}")
+    lines.append(f"- total traced: {m.total_seconds:.6f} s")
+    fp = m.config.get("fingerprint") or "(none)"
+    lines.append(f"- config:       {fp}")
+    env = m.environment
+    lines.append(
+        "- environment:  python {python}, numpy {numpy}, {platform}".format(
+            python=env.get("python", "?"),
+            numpy=env.get("numpy", "?"),
+            platform=env.get("platform", "?"),
+        )
+    )
+    if m.context:
+        lines.append("- context:      " + ", ".join(
+            f"{k}={v}" for k, v in sorted(m.context.items())
+        ))
+    if m.truncated_roots:
+        lines.append(
+            f"- span tree truncated: {m.truncated_roots} root span(s) "
+            "omitted (stage totals cover them)"
+        )
+
+    if m.stages:
+        lines.append("")
+        lines.append("## Stages")
+        lines.append("")
+        rows = []
+        # Sort by wall time, heaviest first: the report answers "where
+        # did the run spend its time".
+        for name, entry in sorted(
+            m.stages.items(),
+            key=lambda item: -float(item[1].get("seconds", 0.0)),
+        ):
+            seconds = float(entry.get("seconds", 0.0))
+            rows.append([
+                name,
+                f"{seconds:.6f}",
+                f"{100.0 * m.stage_share(name):5.1f}%",
+                str(entry.get("calls", 0)),
+            ])
+        lines.extend(_table(["stage", "seconds", "share", "calls"], rows))
+
+    counters = m.metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("## Counters")
+        lines.append("")
+        lines.extend(_table(
+            ["counter", "value"],
+            [[name, str(value)] for name, value in sorted(counters.items())],
+        ))
+
+    gauges = m.metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("## Gauges")
+        lines.append("")
+        lines.extend(_table(
+            ["gauge", "value"],
+            [[name, str(value)] for name, value in sorted(gauges.items())],
+        ))
+
+    histograms = m.metrics.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("## Histograms")
+        for name, counts in sorted(histograms.items()):
+            lines.append("")
+            lines.append(f"### {name}")
+            lines.append("")
+            total = sum(counts.values()) or 1
+            rows = [
+                [label, str(count), f"{100.0 * count / total:5.1f}%"]
+                for label, count in sorted(
+                    counts.items(), key=lambda item: -item[1]
+                )
+            ]
+            lines.extend(_table(["label", "count", "share"], rows))
+
+    return "\n".join(lines) + "\n"
+
+
+def diff_manifests(
+    baseline: Union[RunManifest, dict],
+    fresh: Union[RunManifest, dict],
+) -> str:
+    """Render the differences between two manifests.
+
+    Reports per-stage wall-time and share-of-total deltas, counter
+    deltas, and config-fingerprint mismatch. Stages/counters present on
+    only one side are listed as such.
+    """
+    a = _as_manifest(baseline)
+    b = _as_manifest(fresh)
+    lines: List[str] = []
+    lines.append(f"# Manifest diff: {a.name} -> {b.name}")
+    lines.append("")
+    fp_a = a.config.get("fingerprint") or "(none)"
+    fp_b = b.config.get("fingerprint") or "(none)"
+    if fp_a != fp_b:
+        lines.append(f"- CONFIG CHANGED: {fp_a} -> {fp_b}")
+    else:
+        lines.append(f"- config:       {fp_a} (unchanged)")
+    lines.append(
+        f"- total traced: {a.total_seconds:.6f} s -> "
+        f"{b.total_seconds:.6f} s "
+        f"({_signed(b.total_seconds - a.total_seconds)} s)"
+    )
+
+    names = sorted(set(a.stages) | set(b.stages))
+    if names:
+        lines.append("")
+        lines.append("## Stage deltas")
+        lines.append("")
+        rows = []
+        for name in names:
+            if name not in a.stages:
+                rows.append([name, "(new)", f"{b.stage_seconds(name):.6f}",
+                             "-", f"{100.0 * b.stage_share(name):+5.1f}pp"])
+                continue
+            if name not in b.stages:
+                rows.append([name, f"{a.stage_seconds(name):.6f}", "(gone)",
+                             "-", f"{-100.0 * a.stage_share(name):+5.1f}pp"])
+                continue
+            sa, sb = a.stage_seconds(name), b.stage_seconds(name)
+            share_delta = 100.0 * (b.stage_share(name) - a.stage_share(name))
+            rows.append([
+                name, f"{sa:.6f}", f"{sb:.6f}",
+                _signed(sb - sa), f"{share_delta:+5.1f}pp",
+            ])
+        lines.extend(_table(
+            ["stage", "base s", "fresh s", "delta s", "share"], rows,
+        ))
+
+    counters_a = a.metrics.get("counters", {})
+    counters_b = b.metrics.get("counters", {})
+    names = sorted(set(counters_a) | set(counters_b))
+    changed = [
+        name for name in names
+        if counters_a.get(name) != counters_b.get(name)
+    ]
+    if changed:
+        lines.append("")
+        lines.append("## Counter deltas")
+        lines.append("")
+        rows = []
+        for name in changed:
+            va = counters_a.get(name)
+            vb = counters_b.get(name)
+            if va is None:
+                rows.append([name, "(new)", str(vb), "-"])
+            elif vb is None:
+                rows.append([name, str(va), "(gone)", "-"])
+            else:
+                rows.append([name, str(va), str(vb), _signed(vb - va)])
+        lines.extend(_table(["counter", "base", "fresh", "delta"], rows))
+    elif names:
+        lines.append("")
+        lines.append("## Counter deltas")
+        lines.append("")
+        lines.append("(no counter changed)")
+
+    return "\n".join(lines) + "\n"
+
+
+def _signed(value: float) -> str:
+    if isinstance(value, int):
+        return f"{value:+d}"
+    return f"{value:+.6f}"

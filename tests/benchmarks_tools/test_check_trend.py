@@ -26,6 +26,21 @@ def write_evidence(directory, timings, series=None):
         (directory / name).write_text(json.dumps(payload))
 
 
+def write_manifest(directory, name, stages):
+    """A minimal run manifest: stages as ``{name: seconds}``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "name": name,
+        "stages": {
+            stage: {"seconds": seconds, "calls": 1}
+            for stage, seconds in stages.items()
+        },
+        "total_seconds": sum(stages.values()),
+    }
+    (directory / f"MANIFEST_{name}.json").write_text(json.dumps(payload))
+
+
 @pytest.fixture
 def evidence(tmp_path):
     baseline = tmp_path / "baseline"
@@ -160,6 +175,77 @@ class TestCompareSeries:
                                           rtol=1e-9) == ([], [])
 
 
+class TestCompareStages:
+    def test_share_drift_detected(self, evidence):
+        """Clustering eating the budget consensus freed trips the gate:
+        the run total barely moves, the stage's share of it does."""
+        baseline, fresh = evidence
+        write_manifest(baseline, "fig", {"cluster": 1.0, "consensus": 4.0})
+        write_manifest(fresh, "fig", {"cluster": 4.0, "consensus": 1.0})
+        problems, notes = check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        )
+        assert notes == []
+        assert len(problems) == 1
+        file, stage, base_share, fresh_share, base_s, fresh_s = problems[0]
+        assert stage == "cluster"
+        assert base_share == pytest.approx(0.2)
+        assert fresh_share == pytest.approx(0.8)
+        assert (base_s, fresh_s) == (1.0, 4.0)
+
+    def test_share_growth_within_tolerance_passes(self, evidence):
+        baseline, fresh = evidence
+        write_manifest(baseline, "fig", {"cluster": 2.0, "consensus": 8.0})
+        write_manifest(fresh, "fig", {"cluster": 3.0, "consensus": 8.0})
+        problems, _ = check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        )
+        assert problems == []  # share grew 20% -> ~27%, inside 15 points
+
+    def test_fast_run_share_jitter_is_noise(self, evidence):
+        """Both bars must fail: a millisecond stage tripling its share
+        stays under the absolute min-seconds floor."""
+        baseline, fresh = evidence
+        write_manifest(baseline, "fig", {"cluster": 0.01, "rs": 0.09})
+        write_manifest(fresh, "fig", {"cluster": 0.05, "rs": 0.05})
+        problems, _ = check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        )
+        assert problems == []
+
+    def test_proportional_slowdown_is_not_stage_drift(self, evidence):
+        """Everything 2x slower keeps every share flat — that is the
+        wall-clock gate's job, not the stage gate's."""
+        baseline, fresh = evidence
+        write_manifest(baseline, "fig", {"cluster": 2.0, "consensus": 6.0})
+        write_manifest(fresh, "fig", {"cluster": 4.0, "consensus": 12.0})
+        problems, _ = check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        )
+        assert problems == []
+
+    def test_one_sided_manifests_and_stages_are_notes(self, evidence):
+        baseline, fresh = evidence
+        write_manifest(baseline, "gone", {"cluster": 1.0})
+        write_manifest(baseline, "fig", {"old_stage": 1.0})
+        write_manifest(fresh, "fig", {"new_stage": 1.0})
+        problems, notes = check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        )
+        assert problems == []
+        assert any("not produced" in note for note in notes)
+        assert any("'old_stage' missing" in note for note in notes)
+        assert any("'new_stage' new" in note for note in notes)
+
+    def test_no_manifests_is_clean(self, evidence):
+        baseline, fresh = evidence
+        baseline.mkdir()
+        fresh.mkdir()
+        assert check_trend.compare_stages(
+            baseline, fresh, share_tolerance=0.15, min_seconds=0.5
+        ) == ([], [])
+
+
 class TestMain:
     def test_clean_run_exits_zero(self, evidence, capsys):
         baseline, fresh = evidence
@@ -208,6 +294,33 @@ class TestMain:
         assert check_trend.main([
             "--baseline", str(baseline), "--fresh", str(fresh),
         ]) == 2
+
+    def test_stage_drift_exits_one_only_with_stage_flag(self, evidence,
+                                                        capsys):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0})
+        write_evidence(fresh, {"a": 1.0})
+        write_manifest(baseline, "fig", {"cluster": 1.0, "consensus": 4.0})
+        write_manifest(fresh, "fig", {"cluster": 4.0, "consensus": 1.0})
+        argv = ["--baseline", str(baseline), "--fresh", str(fresh)]
+        assert check_trend.main(argv) == 0  # manifests ignored by default
+        capsys.readouterr()
+        assert check_trend.main(argv + ["--stage"]) == 1
+        out = capsys.readouterr().out
+        assert "stage-drift" in out
+        assert "cluster" in out
+        assert "FAIL" in out
+
+    def test_stage_share_flag_loosens_the_gate(self, evidence):
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0})
+        write_evidence(fresh, {"a": 1.0})
+        write_manifest(baseline, "fig", {"cluster": 1.0, "consensus": 4.0})
+        write_manifest(fresh, "fig", {"cluster": 4.0, "consensus": 1.0})
+        assert check_trend.main([
+            "--baseline", str(baseline), "--fresh", str(fresh),
+            "--stage", "--stage-share", "0.9",
+        ]) == 0
 
     def test_against_committed_evidence(self, capsys):
         """The real committed baseline compared against itself is clean —

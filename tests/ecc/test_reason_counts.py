@@ -1,0 +1,67 @@
+"""Reason-code histograms on the batched errata plane."""
+
+import numpy as np
+
+from repro.ecc.batched import (
+    CAPABILITY_EXCEEDED,
+    OK,
+    REASON_LABELS,
+    RESIDUAL_SYNDROMES,
+    TOO_MANY_ERASURES,
+    reason_counts,
+)
+from repro.ecc.reed_solomon import ReedSolomon
+
+
+class TestReasonCountsHelper:
+    def test_counts_by_label(self):
+        reasons = np.array([OK, OK, TOO_MANY_ERASURES, OK,
+                            RESIDUAL_SYNDROMES, TOO_MANY_ERASURES])
+        assert reason_counts(reasons) == {
+            "ok": 3,
+            "erasures exceed correction capability": 2,
+            "residual syndromes after correction": 1,
+        }
+
+    def test_absent_codes_are_omitted(self):
+        counts = reason_counts(np.array([OK, OK]))
+        assert counts == {"ok": 2}
+        assert REASON_LABELS[CAPABILITY_EXCEEDED] not in counts
+
+    def test_empty_input(self):
+        assert reason_counts(np.array([], dtype=np.int64)) == {}
+
+    def test_accepts_plain_lists(self):
+        assert reason_counts([OK, CAPABILITY_EXCEEDED]) == {
+            "ok": 1, "errors + erasures exceed capability": 1,
+        }
+
+    def test_total_matches_row_count(self):
+        rng = np.random.default_rng(3)
+        reasons = rng.integers(0, len(REASON_LABELS), 500)
+        counts = reason_counts(reasons)
+        assert sum(counts.values()) == reasons.size
+
+
+class TestBatchDecodeResultReasonCounts:
+    def test_decode_many_outcomes_roll_up(self):
+        """A mixed batch — clean rows, correctable rows, one over-budget
+        row — rolls up into the same labels the metrics layer reports."""
+        rs = ReedSolomon(8, nsym=4, n=14)
+        clean = np.array(rs.encode(list(range(10))), dtype=np.uint8)
+        dirty = clean.copy()
+        dirty[0] ^= 0xA5  # correctable: 1 error within nsym // 2
+        words = np.stack([clean, dirty, clean])
+        # Row 2 is clean but drowned in erasures beyond the budget.
+        erasures = [[], [], [0, 1, 2, 3, 4]]
+        result = rs.decode_many(words, erasures)
+        counts = result.reason_counts()
+        assert counts["ok"] == 2
+        assert counts["erasures exceed correction capability"] == 1
+        assert sum(counts.values()) == result.n_rows
+        assert counts == {
+            REASON_LABELS[code]: count
+            for code, count in zip(
+                *np.unique(result.reasons, return_counts=True)
+            )
+        }

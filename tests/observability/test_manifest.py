@@ -1,0 +1,157 @@
+"""RunManifest construction, serialization and schema validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig
+from repro.observability import (
+    ManifestError,
+    RunManifest,
+    SCHEMA_VERSION,
+    Tracer,
+    build_manifest,
+    config_fingerprint,
+    validate_manifest,
+)
+
+
+def traced_run():
+    tracer = Tracer()
+    tracer.context["seed"] = 7
+    with tracer.span("store.decode", n_units=np.int64(2)):
+        with tracer.span("receive"):
+            pass
+        with tracer.span("rs.correct"):
+            tracer.metrics.counter("rs.codewords").add(20)
+            tracer.metrics.histogram("rs.failure_reasons").observe_counts(
+                {"ok": 18, "residual syndromes after correction": 2}
+            )
+    return tracer
+
+
+class TestFingerprint:
+    def test_equal_configs_hash_equal(self):
+        assert config_fingerprint(PipelineConfig()) == \
+            config_fingerprint(PipelineConfig())
+
+    def test_different_configs_hash_differently(self):
+        assert config_fingerprint(PipelineConfig()) != \
+            config_fingerprint(PipelineConfig(layout="gini"))
+
+    def test_dicts_are_order_insensitive(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == \
+            config_fingerprint({"b": 2, "a": 1})
+
+
+class TestBuild:
+    def test_build_covers_stages_metrics_and_context(self):
+        manifest = build_manifest(
+            traced_run(), "unit-test", config=PipelineConfig()
+        )
+        assert manifest.schema == SCHEMA_VERSION
+        assert manifest.name == "unit-test"
+        assert manifest.context == {"seed": 7}
+        assert set(manifest.stages) == {"store.decode", "receive",
+                                        "rs.correct"}
+        assert manifest.total_seconds > 0
+        assert manifest.counter("rs.codewords") == 20
+        assert manifest.histogram("rs.failure_reasons")["ok"] == 18
+        assert manifest.config["fingerprint"]
+        assert manifest.config["values"]["layout"] == "baseline"
+        assert manifest.environment["numpy"] == np.__version__
+
+    def test_extra_context_merges_over_tracer_context(self):
+        manifest = build_manifest(
+            traced_run(), "t", context={"seed": 9, "note": "x"}
+        )
+        assert manifest.context == {"seed": 9, "note": "x"}
+
+    def test_stage_share_sums_to_one_for_the_root(self):
+        manifest = build_manifest(traced_run(), "t")
+        assert manifest.stage_share("store.decode") == pytest.approx(1.0)
+        assert 0.0 <= manifest.stage_share("receive") <= 1.0
+        assert manifest.stage_share("missing") == 0.0
+
+    def test_span_tree_truncation_keeps_stage_totals(self):
+        tracer = Tracer()
+        for _ in range(30):
+            with tracer.span("decode"):
+                pass
+        manifest = build_manifest(tracer, "t", max_root_spans=25)
+        assert len(manifest.spans) == 25
+        assert manifest.truncated_roots == 5
+        assert manifest.stages["decode"]["calls"] == 30
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            traced_run(), "round-trip", config=PipelineConfig()
+        )
+        path = manifest.save(tmp_path / "run.json")
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_saved_file_is_valid_json_with_schema(self, tmp_path):
+        path = build_manifest(traced_run(), "t").save(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        validate_manifest(data)
+
+
+class TestValidation:
+    def valid(self):
+        return build_manifest(traced_run(), "t").to_dict()
+
+    def test_accepts_built_manifest(self):
+        data = self.valid()
+        assert validate_manifest(data) is data
+
+    def test_rejects_wrong_schema(self):
+        data = self.valid()
+        data["schema"] = 99
+        with pytest.raises(ManifestError, match="schema"):
+            validate_manifest(data)
+
+    def test_rejects_missing_name(self):
+        data = self.valid()
+        data["name"] = ""
+        with pytest.raises(ManifestError, match="name"):
+            validate_manifest(data)
+
+    def test_rejects_negative_stage_seconds(self):
+        data = self.valid()
+        data["stages"]["receive"]["seconds"] = -1.0
+        with pytest.raises(ManifestError, match="seconds"):
+            validate_manifest(data)
+
+    def test_rejects_non_integer_histogram_counts(self):
+        data = self.valid()
+        data["metrics"]["histograms"]["rs.failure_reasons"]["ok"] = "many"
+        with pytest.raises(ManifestError, match="histograms"):
+            validate_manifest(data)
+
+    def test_rejects_missing_environment_key(self):
+        data = self.valid()
+        del data["environment"]["numpy"]
+        with pytest.raises(ManifestError, match="environment.numpy"):
+            validate_manifest(data)
+
+    def test_collects_every_problem(self):
+        data = self.valid()
+        data["name"] = ""
+        data["total_seconds"] = -1
+        try:
+            validate_manifest(data)
+        except ManifestError as exc:
+            assert len(exc.problems) == 2
+        else:
+            pytest.fail("expected ManifestError")
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION}))
+        with pytest.raises(ManifestError):
+            RunManifest.load(path)

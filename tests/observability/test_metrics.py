@@ -1,0 +1,83 @@
+"""Metric instruments and registry snapshot semantics."""
+
+from repro.observability import MetricRegistry, NULL_REGISTRY
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricRegistry()
+        counter = registry.counter("rows")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_counter_is_get_or_create(self):
+        registry = MetricRegistry()
+        registry.counter("x").add(1)
+        registry.counter("x").add(2)
+        assert registry.counter("x").value == 3
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("active")
+        assert gauge.value is None
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_counts_labels(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("reasons")
+        hist.observe("ok", 10)
+        hist.observe("ok")
+        hist.observe("bad")
+        assert hist.counts == {"ok": 11, "bad": 1}
+        assert hist.total == 12
+
+    def test_histogram_merges_count_dicts(self):
+        hist = MetricRegistry().histogram("reasons")
+        hist.observe_counts({"ok": 2, "bad": 1})
+        hist.observe_counts({"ok": 3})
+        assert hist.counts == {"ok": 5, "bad": 1}
+
+    def test_histogram_stringifies_labels(self):
+        hist = MetricRegistry().histogram("codes")
+        hist.observe(0)
+        hist.observe(0)
+        assert hist.counts == {"0": 2}
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_sorted_dicts(self):
+        registry = MetricRegistry()
+        registry.counter("b").add(2)
+        registry.counter("a").add(1)
+        registry.gauge("set").set(9)
+        registry.gauge("unset")  # never set: excluded from the snapshot
+        registry.histogram("h").observe("z")
+        registry.histogram("h").observe("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"set": 9}
+        assert list(snapshot["histograms"]["h"]) == ["a", "z"]
+
+    def test_empty_registry_snapshot(self):
+        assert MetricRegistry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestNullRegistry:
+    def test_shared_no_op_instruments(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+
+    def test_operations_leave_no_state(self):
+        NULL_REGISTRY.counter("c").add(10)
+        NULL_REGISTRY.gauge("g").set(1)
+        NULL_REGISTRY.histogram("h").observe("x")
+        NULL_REGISTRY.histogram("h").observe_counts({"y": 2})
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

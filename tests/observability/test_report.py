@@ -1,0 +1,86 @@
+"""Text rendering and diffing of run manifests."""
+
+from repro.observability import (
+    Tracer,
+    build_manifest,
+    diff_manifests,
+    render_manifest,
+)
+
+
+def manifest(name="run", counter=100, extra_stage_spans=0, config=None):
+    tracer = Tracer()
+    tracer.context["seed"] = 42
+    with tracer.span("decode"):
+        with tracer.span("cluster"):
+            pass
+        tracer.metrics.counter("rs.codewords").add(counter)
+        tracer.metrics.gauge("coverage").set(10)
+        tracer.metrics.histogram("rs.failure_reasons").observe_counts(
+            {"ok": counter - 2, "erasures exceed correction capability": 2}
+        )
+    for _ in range(extra_stage_spans):
+        with tracer.span("retry"):
+            pass
+    return build_manifest(tracer, name, config=config)
+
+
+class TestRender:
+    def test_render_covers_every_section(self):
+        text = render_manifest(manifest())
+        assert text.startswith("# Run manifest: run\n")
+        assert "- total traced:" in text
+        assert "- context:      seed=42" in text
+        assert "## Stages" in text
+        assert "decode" in text and "cluster" in text
+        assert "## Counters" in text
+        assert "rs.codewords" in text and "100" in text
+        assert "## Gauges" in text and "coverage" in text
+        assert "## Histograms" in text
+        assert "### rs.failure_reasons" in text
+        assert "erasures exceed correction capability" in text
+
+    def test_render_accepts_plain_dict(self):
+        text = render_manifest(manifest().to_dict())
+        assert "# Run manifest: run" in text
+
+    def test_stages_sorted_heaviest_first(self):
+        text = render_manifest(manifest())
+        stages = text.split("## Stages")[1].split("##")[0]
+        assert stages.index("decode") < stages.index("cluster")
+
+    def test_truncation_is_reported(self):
+        m = manifest(extra_stage_spans=40)
+        assert m.truncated_roots > 0
+        assert "span tree truncated" in render_manifest(m)
+
+
+class TestDiff:
+    def test_unchanged_config_and_counter_deltas(self):
+        text = diff_manifests(manifest("base"), manifest("fresh", counter=120))
+        assert text.startswith("# Manifest diff: base -> fresh\n")
+        assert "(unchanged)" in text
+        assert "CONFIG CHANGED" not in text
+        assert "## Stage deltas" in text
+        assert "## Counter deltas" in text
+        assert "rs.codewords" in text
+        assert "+20" in text
+
+    def test_config_change_is_flagged(self):
+        text = diff_manifests(
+            manifest(config={"rate": 0.04}),
+            manifest(config={"rate": 0.06}),
+        )
+        assert "CONFIG CHANGED" in text
+
+    def test_one_sided_stages_marked(self):
+        base = manifest("base")
+        fresh = manifest("fresh", extra_stage_spans=3)
+        text = diff_manifests(base, fresh)
+        assert "retry" in text
+        assert "(new)" in text
+        assert "(gone)" in diff_manifests(fresh, base)
+
+    def test_identical_counters_noted(self):
+        text = diff_manifests(manifest(), manifest())
+        assert "(no counter changed)" in text
