@@ -43,11 +43,18 @@ def _slugify(title):
     return slug
 
 
-def print_series(title, xs, series):
+def print_series(title, xs, series, timing_series=()):
     """Print an aligned table: one x column plus one column per series.
 
     Also dumps the table to ``benchmarks/out/BENCH_<slug>.json`` so runs
     can be diffed and plotted without scraping the log.
+
+    ``timing_series`` names the series whose values are wall-clock
+    measurements (requests/sec, latency percentiles): they vary run to
+    run, so ``check_trend.py`` reports them as notes instead of
+    drift-gating them at ``rtol`` like the deterministic series (the
+    per-test wall clock in ``BENCH_timings.json`` still gates gross
+    regressions).
     """
     print(f"\n=== {title} ===")
     names = list(series)
@@ -82,6 +89,9 @@ def print_series(title, xs, series):
             for name, values in series.items()
         },
     }
+    timing_series = [name for name in timing_series if name in series]
+    if timing_series:
+        payload["timing_series"] = timing_series
     path = OUT_DIR / f"BENCH_{_slugify(title)}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
 

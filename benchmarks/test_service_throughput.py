@@ -1,0 +1,186 @@
+"""Serving-plane throughput: coalescing batch window sweep.
+
+The random-access serving plane (``repro.service``) answers concurrent
+object reads by coalescing each tick's queue into one spanning-batch
+decode — one consensus pass and one RS errata pass however many tickets
+drain. This benchmark measures what that buys: a corpus of 32 encoded
+objects is submitted all at once and drained through ``StoreService``
+at batch windows 1..32, where window 1 is the pre-redesign baseline
+(each request decoded independently, exactly N ``store.read`` calls).
+
+Reported per window: requests/sec (wall clock, best-of-3), per-request
+p50/p99 latency in ms (submission to answer, so small windows answer
+early tickets sooner while large windows amortize the decode), and the
+deterministic pass counts the coalescing contract pins — ticks,
+consensus passes and RS errata passes per 32-request drain (always
+``ceil(32/window)`` each).  The acceptance bar asserted here: window 8
+beats the independent-decode baseline by >= 2x.
+
+A warm-cache coda re-drains the corpus through a cache-enabled service
+and checks the repeat pass runs zero consensus calls.
+
+The wall-clock series are declared via ``timing_series`` so
+``check_trend.py`` notes them instead of drift-gating machine-dependent
+numbers; the pass counts stay gated.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import OUT_DIR, print_series
+from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
+from repro.core import MatrixConfig, PipelineConfig
+from repro.core.store import DnaStore
+from repro.observability import build_manifest, get_tracer
+from repro.service import StoreService
+
+MATRIX = MatrixConfig(m=8, n_columns=24, nsym=4, payload_rows=6)
+N_OBJECTS = 32
+WINDOWS = (1, 2, 4, 8, 16, 32)
+ROUNDS = 3
+ERROR_RATE = 0.01
+COVERAGE = 5
+
+
+def build_corpus():
+    """Encode and sequence 32 single-unit objects."""
+    store = DnaStore(PipelineConfig(matrix=MATRIX))
+    rng = np.random.default_rng(2022)
+    simulator = SequencingSimulator(
+        ErrorModel.uniform(ERROR_RATE), FixedCoverage(COVERAGE)
+    )
+    objects = {}
+    for k in range(N_OBJECTS):
+        bits = rng.integers(0, 2, store.unit_capacity_bits, dtype=np.uint8)
+        image = store.encode(bits)
+        reads = simulator.sequence_store(image, rng=3000 + k)
+        objects[f"obj{k}"] = (reads, bits)
+    return store, objects
+
+
+def make_service(store, objects, window, cache_capacity=0):
+    service = StoreService(store, cache_capacity=cache_capacity,
+                           batch_window=window)
+    for oid, (reads, bits) in objects.items():
+        service.put(oid, reads, bits.size)
+    return service
+
+
+def drain(service, objects):
+    """Submit every object then tick until the queue empties."""
+    start = time.perf_counter()
+    for oid in objects:
+        service.submit(oid)
+    results = []
+    n_ticks = 0
+    while service.queue_depth:
+        results.extend(service.tick())
+        n_ticks += 1
+    return time.perf_counter() - start, n_ticks, results
+
+
+def _stage_calls(name):
+    return get_tracer().stage_totals().get(name, {}).get("calls", 0)
+
+
+def measure_window(store, objects, window):
+    service = make_service(store, objects, window)
+    drain(service, objects)  # warm-up (allocator, caches, JIT-free but fair)
+
+    consensus0 = _stage_calls("consensus.reconstruct")
+    errata0 = _stage_calls("rs.decode_words")
+    elapsed, n_ticks, results = drain(service, objects)
+    consensus_passes = _stage_calls("consensus.reconstruct") - consensus0
+    errata_passes = _stage_calls("rs.decode_words") - errata0
+
+    exact = all(
+        result.clean
+        and np.array_equal(result.bits, objects[result.object_id][1])
+        for result in results
+    )
+    latencies = [result.seconds for result in results]
+    for _ in range(ROUNDS - 1):
+        again, _, rerun = drain(service, objects)
+        if again < elapsed:
+            elapsed = again
+            latencies = [result.seconds for result in rerun]
+    latencies_ms = np.asarray(latencies) * 1e3
+    return {
+        "n_ticks": n_ticks,
+        "consensus_passes": consensus_passes,
+        "rs_passes": errata_passes,
+        "decode_exact": float(exact),
+        "requests_per_sec": N_OBJECTS / elapsed,
+        "p50_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_ms": float(np.percentile(latencies_ms, 99)),
+    }
+
+
+def run_experiment():
+    store, objects = build_corpus()
+    rows = [measure_window(store, objects, window) for window in WINDOWS]
+
+    # Warm-cache coda: a cache-backed service answers the repeat drain
+    # without touching the pipeline at all.
+    cached = make_service(store, objects, window=None, cache_capacity=256)
+    drain(cached, objects)  # cold pass fills the cache
+    consensus0 = _stage_calls("consensus.reconstruct")
+    warm_elapsed, _, warm_results = drain(cached, objects)
+    warm = {
+        "consensus_passes": _stage_calls("consensus.reconstruct")
+        - consensus0,
+        "all_cache_hits": all(r.cache_hit for r in warm_results),
+        "requests_per_sec": N_OBJECTS / warm_elapsed,
+    }
+    return rows, warm
+
+
+def test_service_throughput(benchmark, bench_tracer):
+    rows, warm = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print(
+        f"\nServing-plane drain of {N_OBJECTS} objects vs batch window "
+        f"(window 1 = independent decodes; p=1%, N={COVERAGE})"
+    )
+    print_series(
+        "Service",
+        list(WINDOWS),
+        {
+            key: [row[key] for row in rows]
+            for key in (
+                "n_ticks", "consensus_passes", "rs_passes", "decode_exact",
+                "requests_per_sec", "p50_ms", "p99_ms",
+            )
+        },
+        timing_series=("requests_per_sec", "p50_ms", "p99_ms"),
+    )
+    print(
+        f"warm-cache repeat drain: {warm['requests_per_sec']:.0f} req/s, "
+        f"{warm['consensus_passes']} consensus passes"
+    )
+
+    # Every drain recovers every object exactly.
+    assert all(row["decode_exact"] == 1.0 for row in rows)
+    # The coalescing contract: one consensus pass and one errata pass
+    # per tick, ceil(N / window) ticks per drain.
+    for window, row in zip(WINDOWS, rows):
+        expected_ticks = -(-N_OBJECTS // window)
+        assert row["n_ticks"] == expected_ticks
+        assert row["consensus_passes"] == expected_ticks
+        assert row["rs_passes"] == expected_ticks
+    # The acceptance bar: coalescing 8 requests per tick at least
+    # doubles throughput over one-request-at-a-time serving.
+    baseline = rows[0]["requests_per_sec"]
+    at_eight = rows[WINDOWS.index(8)]["requests_per_sec"]
+    assert at_eight >= 2.0 * baseline, (
+        f"window 8 {at_eight:.0f} req/s < 2x baseline {baseline:.0f} req/s"
+    )
+    # Warm-cache repeats bypass the pipeline entirely.
+    assert warm["consensus_passes"] == 0
+    assert warm["all_cache_hits"]
+
+    # The named manifest the perf-trend stage gate tracks (the autouse
+    # fixture also writes the per-nodeid manifest, as for every bench).
+    OUT_DIR.mkdir(exist_ok=True)
+    manifest = build_manifest(bench_tracer, "service")
+    manifest.save(OUT_DIR / "MANIFEST_service.json")

@@ -15,7 +15,10 @@ batched and columnar:
 
 The finale shows the multi-unit store, where batching moves up to the
 store plane: three units encode through one vectorized pass and decode
-from one spanning batch with a single consensus call.
+from one spanning batch with a single consensus call — through the
+store's unified ``read(ReadRequest)`` entry point, ending with a traced
+``read_many`` that coalesces a labeled and an unlabeled request into
+that same single pass.
 
 Run with::
 
@@ -35,6 +38,7 @@ from repro import (
     MatrixConfig,
     PipelineConfig,
     PosteriorReconstructor,
+    ReadRequest,
     SequencingSimulator,
     TwoWayReconstructor,
 )
@@ -121,8 +125,11 @@ def main() -> None:
     # of every unit (`pipeline.receive_many` parses the whole estimate
     # stack segmented by unit) followed by ONE batched RS errata pass:
     # every dirty codeword of every unit moves through Berlekamp-Massey,
-    # Chien and Forney in lockstep (`ReedSolomon.decode_many`). The
-    # per-unit loop survives as `store.decode_units` and the scalar RS
+    # Chien and Forney in lockstep (`ReedSolomon.decode_many`). Reads
+    # come back through the store's single entry point — `store.read`
+    # takes a `ReadRequest` and answers with a `ReadResult` that still
+    # unpacks like the old `(bits, report)` tuple. The per-unit loop
+    # survives behind `ReadRequest(reference=True)` and the scalar RS
     # chain as `repro.ecc.ReferenceReedSolomon` — the frozen references
     # the batched paths are pinned byte-identical against.
     store = DnaStore(PipelineConfig(matrix=matrix, layout="gini"))
@@ -131,7 +138,7 @@ def main() -> None:
     image = store.encode(payload)
     spanning = simulator.sequence_store(image, rng)
     start = time.perf_counter()
-    decoded, report = store.decode(spanning, payload.size)
+    decoded, report = store.read(ReadRequest(spanning, payload.size))
     store_ms = 1000 * (time.perf_counter() - start)
     print(f"multi-unit store: {image.n_units} units "
           f"({image.total_strands} strands) decoded in one consensus "
@@ -142,15 +149,17 @@ def main() -> None:
     # the workload the paper assumes solved upstream. `labeled=False`
     # keeps one shuffled read pool per unit (units are separately
     # amplifiable pools; strand attribution inside a pool is gone), and
-    # `decode_pool` recovers the clusters on the columnar plane with the
-    # batched greedy clusterer (q-gram signatures in one pass, a stacked
-    # banded edit-DP per cluster round — assignment-identical to the
-    # string-plane GreedyClusterer at ~30x its speed), then decodes all
-    # recovered clusters of all units through the same one-pass
-    # receive_many as labeled reads.
+    # `ReadRequest(pool=True)` recovers the clusters on the columnar
+    # plane with the batched greedy clusterer (q-gram signatures in one
+    # pass, a stacked banded edit-DP per cluster round — assignment-
+    # identical to the string-plane GreedyClusterer at ~30x its speed),
+    # then decodes all recovered clusters of all units through the same
+    # one-pass receive_many as labeled reads.
     pool = simulator.sequence_store(image, rng, labeled=False)
     start = time.perf_counter()
-    decoded, report = store.decode_pool(pool, payload.size)
+    decoded, report = store.read(
+        ReadRequest(pool, payload.size, pool=True)
+    )
     pool_ms = 1000 * (time.perf_counter() - start)
     print(f"unlabeled-pool decode: {pool.n_reads} untagged reads in "
           f"{image.n_units} pools -> cluster + decode: "
@@ -163,18 +172,28 @@ def main() -> None:
     # machine-checkable run manifest — per-stage wall times, RS
     # failure-reason histogram, cluster/consensus counters, config
     # fingerprint. `python -m repro.cli report <file>` renders a saved
-    # one, and with two files diffs them stage by stage.
+    # one, and with two files diffs them stage by stage. Here the finale
+    # also shows `read_many`, the serving plane's coalescing entry: the
+    # labeled spanning batch AND the unlabeled pool answer from ONE
+    # consensus pass and ONE RS errata pass, under one traced manifest
+    # (`StoreService` builds its queue/cache tick loop on this call —
+    # see `python -m repro.cli serve`).
     from repro.observability import Tracer, use_tracer
 
     tracer = Tracer()
     tracer.context["seed"] = 7
     with use_tracer(tracer):
         pool = simulator.sequence_store(image, rng, labeled=False)
-        store.decode_pool(pool, payload.size)
+        results = store.read_many([
+            ReadRequest(spanning, payload.size, object_id="labeled"),
+            ReadRequest(pool, payload.size, pool=True, object_id="pooled"),
+        ])
+    exact = all(np.array_equal(r.bits, payload) for r in results)
     manifest = tracer.manifests[-1]
     heaviest = max(manifest.stages, key=manifest.stage_seconds)
     reasons = manifest.histogram("rs.failure_reasons")
-    print(f"traced decode: {len(manifest.stages)} stages, heaviest "
+    print(f"traced read_many: {len(results)} requests coalesced "
+          f"(exact={exact}); {len(manifest.stages)} stages, heaviest "
           f"{heaviest} at {manifest.stage_share(heaviest):.0%} of "
           f"{manifest.total_seconds * 1000:.0f}ms; codeword outcomes "
           f"{reasons} (save with manifest.save('run.json'), render with "

@@ -64,14 +64,15 @@ and the store is the *batching boundary*: encode places, parity-fills
 units' strands in single array passes, and decode runs **one** consensus
 batch call over every surviving cluster of every unit::
 
-    from repro import DnaStore
+    from repro import DnaStore, ReadRequest
 
     store = DnaStore(config)
     bits = np.random.default_rng(0).integers(
         0, 2, 3 * store.unit_capacity_bits, dtype=np.uint8)
     image = store.encode(bits)                           # 3 units, batched
     batch = simulator.sequence_store(image, rng=0)       # one spanning batch
-    decoded, report = store.decode(batch, bits.size)     # one consensus pass
+    decoded, report = store.read(                        # one consensus pass
+        ReadRequest(batch, bits.size))
     assert report.clean and np.array_equal(decoded, bits)
 
 ``sequence_store`` (and ``ReadPool.for_store`` for coverage sweeps) emit
@@ -80,8 +81,10 @@ the units' clusters back to back in one columnar batch;
 array operations — index validation, first-claim-wins column assembly
 and confidence-cell extraction, segmented by unit — feeding one batched
 RS correction pass. The original one-pipeline-call-per-unit loop
-survives as ``DnaStore.decode_units``, the frozen differential reference
-the batched path is pinned byte-identical against.
+survives behind ``ReadRequest(reference=True)``, the frozen differential
+reference the batched path is pinned byte-identical against. (The
+legacy ``decode``/``decode_pool``/``decode_units`` names still work as
+deprecated wrappers over the same engine.)
 
 RS correction itself is batched end to end: clean codewords clear
 through one bit-plane syndrome product, and the dirty remainder of
@@ -99,12 +102,12 @@ subsystem runs on the same columnar plane, so the realistic workload —
 an unlabeled sequencing pool — decodes end to end::
 
     pool = simulator.sequence_store(image, rng=0, labeled=False)
-    decoded, report = store.decode_pool(pool, bits.size)
+    decoded, report = store.read(ReadRequest(pool, bits.size, pool=True))
     assert report.clean and np.array_equal(decoded, bits)
 
 ``labeled=False`` keeps one shuffled read pool per encoding unit (units
 are separately amplifiable; strand attribution within a unit is what
-sequencing does not provide), and ``decode_pool`` recovers the clusters
+sequencing does not provide), and the pooled read path recovers clusters
 with :class:`~repro.cluster.BatchedGreedyClusterer` — q-gram signatures
 for the whole pool in one pass over the flat base buffer, one stacked
 banded edit-distance sweep per cluster round, assignments *identical* to
@@ -133,7 +136,7 @@ RunManifest` (config fingerprint, per-stage timings, metric snapshot)::
     tracer.context["seed"] = 0
     with use_tracer(tracer):
         pool = simulator.sequence_store(image, rng=0, labeled=False)
-        decoded, report = store.decode_pool(pool, bits.size)
+        decoded, report = store.read(ReadRequest(pool, bits.size, pool=True))
     manifest = tracer.manifests[-1]
     print(render_manifest(manifest))     # stage table, counters, reasons
     manifest.save("run.json")            # machine-checkable evidence
@@ -145,6 +148,32 @@ using the manifests every benchmark run emits. With no tracer active the
 default ``NullTracer`` makes every instrumentation site a no-op: decode
 output is byte-identical and the overhead is budgeted under 5% by
 ``tests/integration/test_perf_budget.py``.
+
+Random access at scale (the paper's Section 2.1 key-value workload —
+many users each pulling one object out of a shared pool) runs through
+the serving plane (``repro.service``): register objects once, enqueue
+read tickets, and each tick coalesces every drained ticket into one
+spanning consensus pass plus one batched RS errata pass — with a
+decoded-unit LRU cache in front, so repeat reads skip the pipeline
+entirely::
+
+    from repro.service import StoreService
+
+    service = StoreService(store, cache_capacity=256, batch_window=16)
+    service.put("fileA", batch_a, bits_a.size)          # labeled reads
+    service.put("fileB", pool_b, bits_b.size, pool=True)  # unlabeled pool
+    service.submit("fileA"); service.submit("fileB")
+    for result in service.tick():        # ONE coalesced decode for all
+        assert result.clean
+    service.submit("fileA")
+    assert service.tick()[0].cache_hit   # warm repeat: zero pipeline work
+
+Re-``put``-ting an object (a store re-encode) bumps its cache epoch and
+invalidates its cached units. Under heavy traffic ``read_many`` on the
+store gives the same amortization without the queue; the ``service.tick``
+spans/counters land in run manifests like every other stage, and
+``benchmarks/test_service_throughput.py`` drift-gates requests/sec and
+p50/p99 latency vs the batch window in CI.
 """
 
 from repro.channel import (
@@ -184,6 +213,8 @@ from repro.core import (
     GiniLayout,
     MatrixConfig,
     PipelineConfig,
+    ReadRequest,
+    ReadResult,
     StoreImage,
     StoreReport,
     identity_ranking,
@@ -193,6 +224,7 @@ from repro.core import (
 )
 from repro.ecc import DecodeFailure, GaloisField, ReedSolomon, UnevenEccScheme
 from repro.files import FileEntry, pack_archive, unpack_archive
+from repro.service import DecodedUnitCache, StoreService
 from repro.media import (
     ColorJpegCodec,
     JpegCodec,
@@ -237,10 +269,15 @@ __all__ = [
     "PipelineConfig",
     "DnaStoragePipeline",
     "DnaStore",
+    "ReadRequest",
+    "ReadResult",
     "StoreImage",
     "StoreReport",
     "EncodedUnit",
     "DecodeReport",
+    # service plane
+    "StoreService",
+    "DecodedUnitCache",
     "BaselineLayout",
     "GiniLayout",
     "DnaMapperLayout",

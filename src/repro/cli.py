@@ -1,10 +1,11 @@
 """Command-line interface: encode files to DNA and decode them back.
 
-The CLI wraps the archive + pipeline stack into three commands::
+The CLI wraps the archive + pipeline stack into four commands::
 
     python -m repro.cli encode --layout gini -o store.dna photo1.jpg notes.txt
     python -m repro.cli decode store.dna -d restored/
     python -m repro.cli report run.json [baseline.json]
+    python -m repro.cli serve --objects 32 --window 8
 
 ``encode`` packs the input files into an archive, encodes it into one or
 more encoding units, and writes a textual ``.dna`` file with one strand
@@ -13,7 +14,12 @@ reads the strand file — optionally after simulated sequencing noise with
 ``--error-rate``/``--coverage`` — and restores the files. ``report``
 renders a :class:`~repro.observability.manifest.RunManifest` JSON file
 (what a traced decode emits) as a stage/metric report, or — given two
-manifests — the stage-time and counter deltas between them.
+manifests — the stage-time and counter deltas between them. ``serve``
+runs a synthetic random-access serving demo: it encodes and sequences a
+corpus of objects, drives them through the coalescing
+:class:`~repro.service.StoreService`, and prints requests/sec, p50/p99
+latency and the cache hit rate per pass (pass 2+ answers from the
+decoded-unit cache).
 
 The strand file is deliberately human-readable: the point of the format
 is to make the pipeline's output inspectable, not to be efficient.
@@ -199,6 +205,61 @@ def _report(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.channel import FixedCoverage
+    from repro.core.store import DnaStore
+    from repro.service import StoreService
+
+    matrix = MatrixConfig(
+        m=args.symbol_bits,
+        n_columns=args.molecules,
+        nsym=args.redundancy,
+        payload_rows=args.rows,
+    )
+    store = DnaStore(PipelineConfig(matrix=matrix))
+    simulator = SequencingSimulator(
+        ErrorModel.uniform(args.error_rate), FixedCoverage(args.coverage)
+    )
+    service = StoreService(store, cache_capacity=args.cache,
+                           batch_window=args.window)
+    rng = np.random.default_rng(args.seed)
+    for k in range(args.objects):
+        bits = rng.integers(0, 2, store.unit_capacity_bits, dtype=np.uint8)
+        image = store.encode(bits)
+        reads = simulator.sequence_store(image, rng=args.seed + 1 + k)
+        service.put(f"obj{k}", reads, bits.size)
+    print(
+        f"registered {args.objects} objects "
+        f"({store.unit_capacity_bits} bits each, "
+        f"{args.error_rate:.1%} errors, coverage {args.coverage}); "
+        f"window={args.window}, cache={args.cache}"
+    )
+
+    for pass_no in range(1, args.repeats + 1):
+        start = time.perf_counter()
+        for k in range(args.objects):
+            service.submit(f"obj{k}")
+        results = []
+        while service.queue_depth:
+            results.extend(service.tick())
+        elapsed = time.perf_counter() - start
+        latencies = np.asarray([r.seconds for r in results]) * 1e3
+        hits = sum(r.cache_hit for r in results)
+        clean = sum(r.clean for r in results)
+        print(
+            f"pass {pass_no}: {len(results) / elapsed:9.0f} req/s"
+            f"  p50 {np.percentile(latencies, 50):7.2f} ms"
+            f"  p99 {np.percentile(latencies, 99):7.2f} ms"
+            f"  cache {hits}/{len(results)}"
+            f"  clean {clean}/{len(results)}"
+        )
+    return 0
+
+
 def _staged_unrank(pipeline, prioritized, n_bits) -> bytes:
     """DnaMapper's metadata-free staged decode (directory first)."""
     from repro.files.archive import directory_file_sizes, directory_size_bits
@@ -256,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
              "stage-time and counter deltas baseline -> manifest",
     )
     report.set_defaults(func=_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="demo the random-access serving plane on synthetic objects",
+    )
+    serve.add_argument("--objects", type=int, default=32,
+                       help="corpus size (single-unit objects)")
+    serve.add_argument("--window", type=int, default=8,
+                       help="requests coalesced into one decode per tick")
+    serve.add_argument("--repeats", type=int, default=2,
+                       help="full passes over the corpus "
+                            "(pass 2+ answers from the cache)")
+    serve.add_argument("--cache", type=int, default=1024,
+                       help="decoded-unit cache capacity (0 disables)")
+    serve.add_argument("--symbol-bits", type=int, default=8)
+    serve.add_argument("--molecules", type=int, default=24)
+    serve.add_argument("--redundancy", type=int, default=4)
+    serve.add_argument("--rows", type=int, default=6)
+    serve.add_argument("--error-rate", type=float, default=0.01)
+    serve.add_argument("--coverage", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_serve)
     return parser
 
 

@@ -30,7 +30,13 @@ from repro.core.ranking import (
     positional_ranking,
     proportional_share_ranking,
 )
-from repro.core.store import DnaStore, StoreImage, StoreReport
+from repro.core.store import (
+    DnaStore,
+    ReadRequest,
+    ReadResult,
+    StoreImage,
+    StoreReport,
+)
 
 __all__ = [
     "MatrixConfig",
@@ -47,6 +53,8 @@ __all__ = [
     "proportional_share_ranking",
     "oracle_ranking",
     "DnaStore",
+    "ReadRequest",
+    "ReadResult",
     "StoreImage",
     "StoreReport",
 ]

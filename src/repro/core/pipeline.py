@@ -638,6 +638,7 @@ class DnaStoragePipeline:
         unit_boundaries: Optional[np.ndarray] = None,
         ranking: Optional[np.ndarray] = None,
         extra_erasure_columns: Sequence[int] = (),
+        confidence_threshold: Optional[float] = None,
     ) -> List[Tuple[np.ndarray, DecodeReport]]:
         """Decode several units from one spanning batch.
 
@@ -645,11 +646,16 @@ class DnaStoragePipeline:
         every unit's clusters) feeding one :meth:`correct_many` pass (a
         single batched errata decode over every unit's dirty codewords).
         ``n_data_bits`` is a scalar applied to every unit or one value per
-        unit; ``ranking``/``extra_erasure_columns`` apply per unit.
-        Returns one ``(bits, DecodeReport)`` pair per unit.
+        unit; ``ranking``/``extra_erasure_columns`` apply per unit,
+        ``confidence_threshold`` to the whole receive pass (as in
+        :meth:`receive`). Returns one ``(bits, DecodeReport)`` pair per
+        unit.
         """
         with get_tracer().span("pipeline.decode_many"):
-            received = self.receive_many(batch, unit_boundaries)
+            received = self.receive_many(
+                batch, unit_boundaries,
+                confidence_threshold=confidence_threshold,
+            )
             if np.ndim(n_data_bits) == 0:
                 sizes = [int(n_data_bits)] * len(received)
             else:

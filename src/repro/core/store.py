@@ -20,13 +20,24 @@ of Section 2.1). :class:`DnaStore` handles the split:
   goes through **one** consensus batch call and one vectorized
   :meth:`~repro.core.pipeline.DnaStoragePipeline.receive_many` pass
   covering every surviving cluster of every unit, feeding per-unit RS
-  correction. The original per-unit loop survives as
-  :meth:`DnaStore.decode_units` — the frozen differential reference,
+  correction. The original per-unit loop survives behind
+  ``ReadRequest(reference=True)`` — the frozen differential reference,
   pinned byte-identical by ``tests/core/test_store_batched.py``.
+
+The read surface is request-shaped: :meth:`DnaStore.read` takes one
+:class:`ReadRequest` (labeled reads, an unlabeled pool, or the frozen
+reference path, with per-request ranking/confidence options) and returns
+a :class:`ReadResult`; :meth:`DnaStore.read_many` coalesces many
+requests into **one** spanning consensus pass and **one** batched RS
+errata pass shared across all of them — the amortization the
+:mod:`repro.service` plane builds its tick loop on. The legacy
+``decode`` / ``decode_pool`` / ``decode_units`` names survive as thin
+deprecated wrappers over the same engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -89,6 +100,80 @@ class StoreReport:
         return sum(len(report.failed_codewords) for report in self.unit_reports)
 
 
+@dataclass
+class ReadRequest:
+    """One object-read request for :meth:`DnaStore.read` / ``read_many``.
+
+    A request names *what to decode* and *how*: labeled reads (the
+    default), an unlabeled per-unit pool (``pool=True``, reads clustered
+    first — what ``decode_pool`` did), or the frozen per-unit reference
+    loop (``reference=True`` — what ``decode_units`` did). Options that
+    were keyword arguments on the three legacy entry points travel with
+    the request, so :meth:`DnaStore.read_many` can coalesce requests
+    with heterogeneous options into shared batch passes.
+
+    Attributes:
+        reads: the read material — anything :data:`StoreReads` accepts
+            for labeled/reference requests; one :class:`ReadBatch` with
+            one cluster (pool) per unit when ``pool`` is set.
+        n_data_bits: payload size stored at encode time.
+        pool: when True, ``reads`` is an unlabeled per-unit pool batch
+            and is clustered before decoding.
+        reference: when True, decode through the frozen per-unit
+            reference loop (one pipeline pass per unit) instead of the
+            batched engine.
+        ranking: the global priority permutation used at encode time.
+        confidence_threshold: advisory-erasure threshold, as in
+            :meth:`~repro.core.pipeline.DnaStoragePipeline.receive`.
+        clusterer: pooled requests only — the batched clusterer to use
+            (default: strand-length-derived threshold).
+        object_id: opaque caller tag, copied onto the result (the
+            service plane keys its queue and cache on it).
+    """
+
+    reads: StoreReads
+    n_data_bits: int
+    pool: bool = False
+    reference: bool = False
+    ranking: Optional[np.ndarray] = None
+    confidence_threshold: Optional[float] = None
+    clusterer: Optional[BatchedGreedyClusterer] = None
+    object_id: Optional[object] = None
+
+
+@dataclass
+class ReadResult:
+    """The outcome of one :class:`ReadRequest`.
+
+    Wraps the payload bits and the existing :class:`StoreReport` (no
+    parallel report type); iterable as ``(bits, report)`` so call sites
+    written against the legacy tuple shape unpack unchanged.
+
+    Attributes:
+        bits: the decoded payload.
+        report: per-unit decode outcomes.
+        object_id: echoed from the request.
+        cache_hit: True when the service plane answered entirely from
+            its decoded-unit cache (no pipeline work).
+        seconds: wall-clock serve time (queue wait included when the
+            service plane answers; 0.0 when not measured).
+    """
+
+    bits: np.ndarray
+    report: StoreReport
+    object_id: Optional[object] = None
+    cache_hit: bool = False
+    seconds: float = 0.0
+
+    def __iter__(self):
+        yield self.bits
+        yield self.report
+
+    @property
+    def clean(self) -> bool:
+        return self.report.clean
+
+
 class DnaStore:
     """Encode/decode byte payloads of arbitrary size across units."""
 
@@ -137,6 +222,216 @@ class DnaStore:
             units=self.pipeline.encode_many(stripes), n_data_bits=bits.size
         )
 
+    # -- the read surface ----------------------------------------------------
+
+    def read(self, request: ReadRequest) -> ReadResult:
+        """Serve one :class:`ReadRequest`; returns a :class:`ReadResult`.
+
+        The single decode entry point: labeled reads, unlabeled pools
+        (``pool=True``) and the frozen per-unit reference loop
+        (``reference=True``) all route through the same engine, so every
+        option combination the legacy ``decode``/``decode_pool``/
+        ``decode_units`` trio exposed is one request field away — and
+        stays byte-identical to those paths (pinned by
+        ``tests/core/test_read_api.py``).
+        """
+        return self._serve([request], "store.read")[0]
+
+    def read_many(self, requests: Sequence[ReadRequest]) -> List[ReadResult]:
+        """Serve many requests through **shared** batch passes.
+
+        The coalescing boundary the service plane amortizes on: all
+        non-reference requests are merged — pooled requests sharing a
+        clusterer go through one
+        :meth:`~repro.cluster.batched.BatchedGreedyClusterer.
+        cluster_pools` call, requests sharing a ``confidence_threshold``
+        through one spanning
+        :meth:`~repro.core.pipeline.DnaStoragePipeline.receive_many`
+        (one consensus batch call), and *every* request's units through
+        one :meth:`~repro.core.pipeline.DnaStoragePipeline.correct_many`
+        (one batched RS errata pass). Results come back in request
+        order, each byte-identical to serving its request alone.
+        """
+        return self._serve(list(requests), "store.read_many")
+
+    def _serve(
+        self,
+        requests: List[ReadRequest],
+        span_name: str,
+        span_attrs: Optional[dict] = None,
+    ) -> List[ReadResult]:
+        """Run requests through the coalescing engine under one span.
+
+        ``span_attrs`` overrides the default ``n_requests`` attribute —
+        the deprecated wrappers pass their legacy span names and
+        attributes through here so existing traces and manifests keep
+        their shape.
+        """
+        if span_attrs is None:
+            span_attrs = {"n_requests": len(requests)}
+        if not requests:
+            return []
+        tracer = get_tracer()
+        with tracer.span(span_name, **span_attrs):
+            served = self._read_many_impl(requests)
+        self._emit_manifest(tracer, span_name)
+        return [
+            ReadResult(bits=bits, report=report, object_id=request.object_id)
+            for request, (bits, report, _) in zip(requests, served)
+        ]
+
+    def _read_many_impl(
+        self, requests: List[ReadRequest]
+    ) -> List[Tuple[np.ndarray, StoreReport, Optional[list]]]:
+        """The coalescing engine behind :meth:`read`/:meth:`read_many`.
+
+        Returns one ``(bits, StoreReport, corrected)`` triple per
+        request, in request order; ``corrected`` is the per-unit
+        ``(stripe, DecodeReport)`` list (``None`` on the reference
+        path) — the service plane's decoded-unit cache stores those
+        stripes, which are ranking-independent (ranking is applied at
+        assembly, see :meth:`_assemble_bits`).
+        """
+        results: List = [None] * len(requests)
+        batched = []
+        for i, request in enumerate(requests):
+            if request.reference:
+                bits, report = self._decode_units_reference(
+                    request.reads, request.n_data_bits, request.ranking,
+                    request.confidence_threshold,
+                )
+                results[i] = (bits, report, None)
+            else:
+                batched.append(i)
+        if not batched:
+            return results
+
+        # One receive_many per distinct confidence threshold (the
+        # threshold is a per-call knob of the consensus/receive pass);
+        # the homogeneous common case is a single group, i.e. a single
+        # consensus batch call for the whole request list.
+        groups: dict = {}
+        group_order = []
+        for i in batched:
+            threshold = requests[i].confidence_threshold
+            if threshold not in groups:
+                groups[threshold] = []
+                group_order.append(threshold)
+            groups[threshold].append(i)
+
+        default_clusterer = None
+        received_by_request: dict = {}
+        for threshold in group_order:
+            segments = []  # (batch, boundaries, [(request index, n_units)])
+            pooled: dict = {}
+            pooled_order = []
+            for i in groups[threshold]:
+                request = requests[i]
+                n_units = self.units_needed(request.n_data_bits)
+                if request.pool:
+                    self._validate_pool(request.reads, n_units)
+                    key = (id(request.clusterer)
+                           if request.clusterer is not None else None)
+                    if key not in pooled:
+                        pooled[key] = []
+                        pooled_order.append(key)
+                    pooled[key].append(i)
+                else:
+                    segments.append(
+                        self._spanning_batch(request.reads, n_units)
+                        + ([(i, n_units)],)
+                    )
+            # Pooled requests sharing a clusterer cluster through ONE
+            # cluster_pools call: their pool batches concatenate (one
+            # cluster per unit), and pools cluster independently, so
+            # each unit's recovered clusters match the solo decode.
+            for key in pooled_order:
+                indices = pooled[key]
+                clusterer = requests[indices[0]].clusterer
+                if clusterer is None:
+                    if default_clusterer is None:
+                        default_clusterer = (
+                            BatchedGreedyClusterer.for_strand_length(
+                                self.pipeline.matrix_config.strand_length
+                            )
+                        )
+                    clusterer = default_clusterer
+                pools = [requests[i].reads for i in indices]
+                combined = pools[0] if len(pools) == 1 else (
+                    ReadBatch.concat(pools)
+                )
+                labeled, boundaries = clusterer.cluster_pools(combined)
+                owners = [
+                    (i, self.units_needed(requests[i].n_data_bits))
+                    for i in indices
+                ]
+                segments.append((labeled, boundaries, owners))
+
+            merged_batch, merged_bounds, owners = self._merge_segments(
+                segments
+            )
+            received = self.pipeline.receive_many(
+                merged_batch, merged_bounds,
+                confidence_threshold=threshold,
+            )
+            cursor = 0
+            for i, n_units in owners:
+                received_by_request[i] = received[cursor:cursor + n_units]
+                cursor += n_units
+
+        # ONE batched RS errata pass across every request's units.
+        all_received = []
+        all_sizes = []
+        unit_spans = []
+        for i in batched:
+            units = received_by_request[i]
+            all_received.extend(units)
+            all_sizes.extend(
+                self._stripe_sizes(requests[i].n_data_bits, len(units))
+            )
+            unit_spans.append((i, len(units)))
+        corrected = self.pipeline.correct_many(all_received, all_sizes)
+        cursor = 0
+        for i, n_units in unit_spans:
+            request_corrected = corrected[cursor:cursor + n_units]
+            cursor += n_units
+            bits, report = self._assemble_bits(
+                request_corrected, requests[i].n_data_bits,
+                requests[i].ranking,
+            )
+            results[i] = (bits, report, request_corrected)
+        return results
+
+    @staticmethod
+    def _merge_segments(segments):
+        """Concatenate ``(batch, boundaries, owners)`` segments into one
+        spanning batch + unit boundary table for ``receive_many``."""
+        if len(segments) == 1:
+            batch, boundaries, owners = segments[0]
+            return batch, boundaries, list(owners)
+        batches = [segment[0] for segment in segments]
+        pieces = [np.zeros(1, dtype=np.int64)]
+        owners: List = []
+        offset = 0
+        for batch, boundaries, segment_owners in segments:
+            pieces.append(np.asarray(boundaries[1:], dtype=np.int64) + offset)
+            offset += batch.n_clusters
+            owners.extend(segment_owners)
+        return ReadBatch.concat(batches), np.concatenate(pieces), owners
+
+    def _validate_pool(self, pool, n_units: int) -> None:
+        if not isinstance(pool, ReadBatch):
+            raise TypeError(
+                "pooled requests take one ReadBatch with one pool per unit"
+            )
+        if pool.n_clusters != n_units:
+            raise ValueError(
+                f"pool holds {pool.n_clusters} unit pools; the payload "
+                f"spans {n_units} units"
+            )
+
+    # -- deprecated wrappers -------------------------------------------------
+
     def decode(
         self,
         reads: StoreReads,
@@ -144,45 +439,28 @@ class DnaStore:
         ranking: Optional[np.ndarray] = None,
         confidence_threshold: Optional[float] = None,
     ):
-        """Decode a whole store's reads back into the payload bits.
+        """Deprecated: use :meth:`read` with a :class:`ReadRequest`.
 
-        The store is the batching boundary: whatever form the reads
-        arrive in, they are normalized into one spanning
-        :class:`~repro.channel.readbatch.ReadBatch` (units back to back)
-        and decoded through a **single** consensus batch call plus one
-        vectorized :meth:`~repro.core.pipeline.DnaStoragePipeline.
-        receive_many` pass over every surviving cluster of every unit;
-        only the RS correction runs per unit. Output is byte-identical to
-        the frozen per-unit loop (:meth:`decode_units`).
-
-        Args:
-            reads: one spanning :class:`ReadBatch` covering all units
-                (what ``SequencingSimulator.sequence_store`` or
-                ``ReadPool.for_store(...).batch_at`` emit), or one
-                :class:`ReadBatch` per unit, or one
-                :class:`ReadCluster` list per unit.
-            n_data_bits: payload size stored at encode time.
-            ranking: the same global permutation used at encode time.
-            confidence_threshold: when set (and the reconstructor exposes
-                confidence output), low-confidence payload cells become
-                advisory RS erasures, as in
-                :meth:`~repro.core.pipeline.DnaStoragePipeline.receive`.
-
-        Returns:
-            ``(bits, StoreReport)``.
+        Kept as a thin wrapper over the same engine (byte-identical,
+        pinned by ``tests/core/test_read_api.py``), preserving the
+        legacy ``store.decode`` span/manifest names. Returns
+        ``(bits, StoreReport)``.
         """
-        n_units = self.units_needed(n_data_bits)
-        tracer = get_tracer()
-        with tracer.span(
-            "store.decode", n_units=n_units, n_data_bits=n_data_bits
-        ):
-            batch, boundaries = self._spanning_batch(reads, n_units)
-            received = self.pipeline.receive_many(
-                batch, boundaries, confidence_threshold=confidence_threshold
-            )
-            result = self._correct_units(received, n_data_bits, ranking)
-        self._emit_manifest(tracer, "store.decode")
-        return result
+        warnings.warn(
+            "DnaStore.decode is deprecated; use "
+            "DnaStore.read(ReadRequest(reads, n_data_bits, ...))",
+            DeprecationWarning, stacklevel=2,
+        )
+        result = self._serve(
+            [ReadRequest(
+                reads=reads, n_data_bits=n_data_bits, ranking=ranking,
+                confidence_threshold=confidence_threshold,
+            )],
+            "store.decode",
+            {"n_units": self.units_needed(n_data_bits),
+             "n_data_bits": n_data_bits},
+        )[0]
+        return result.bits, result.report
 
     def decode_pool(
         self,
@@ -192,59 +470,53 @@ class DnaStore:
         ranking: Optional[np.ndarray] = None,
         confidence_threshold: Optional[float] = None,
     ):
-        """Decode a whole store from *unlabeled* per-unit read pools.
+        """Deprecated: use :meth:`read` with ``ReadRequest(pool=True)``.
 
-        The realistic retrieval workload: ``pool`` holds one cluster per
-        encoding unit — the unit's amplification pool, reads unordered
-        and untagged, exactly what ``SequencingSimulator.sequence_store
-        (..., labeled=False)`` emits. Unit membership is physical (units
-        are separately amplifiable pools with their own primer pairs);
-        *strand* membership within a unit is what the clustering
-        subsystem recovers. Each pool is clustered independently on the
-        columnar plane, then every recovered cluster of every unit
-        decodes through the same single-pass
-        :meth:`~repro.core.pipeline.DnaStoragePipeline.receive_many`
-        as labeled reads — ``receive_many`` takes the recovered-cluster
-        boundary table directly, the consensus strands name their
-        columns via the embedded index field, and RS absorbs residual
-        clustering mistakes.
-
-        Args:
-            pool: one cluster per unit (``n_clusters == n_units``).
-            n_data_bits: payload size stored at encode time.
-            clusterer: the batched greedy clusterer to use; defaults to
-                the strand-length-derived threshold
-                (:meth:`BatchedGreedyClusterer.for_strand_length`).
-            ranking: the same global permutation used at encode time.
-            confidence_threshold: as in :meth:`decode`.
-
-        Returns:
-            ``(bits, StoreReport)``.
+        Kept as a thin wrapper over the same engine (byte-identical,
+        pinned by ``tests/core/test_read_api.py``), preserving the
+        legacy ``store.decode_pool`` span/manifest names. Returns
+        ``(bits, StoreReport)``.
         """
+        warnings.warn(
+            "DnaStore.decode_pool is deprecated; use "
+            "DnaStore.read(ReadRequest(pool_batch, n_data_bits, "
+            "pool=True, ...))",
+            DeprecationWarning, stacklevel=2,
+        )
         n_units = self.units_needed(n_data_bits)
-        if pool.n_clusters != n_units:
-            raise ValueError(
-                f"pool holds {pool.n_clusters} unit pools; the payload "
-                f"spans {n_units} units"
-            )
-        if clusterer is None:
-            clusterer = BatchedGreedyClusterer.for_strand_length(
-                self.pipeline.matrix_config.strand_length
-            )
-        tracer = get_tracer()
-        with tracer.span(
-            "store.decode_pool", n_units=n_units, n_reads=pool.n_reads,
-            n_data_bits=n_data_bits,
-        ):
-            labeled, boundaries = clusterer.cluster_pools(pool)
-            received = self.pipeline.receive_many(
-                labeled, boundaries, confidence_threshold=confidence_threshold
-            )
-            result = self._correct_units(received, n_data_bits, ranking)
-        self._emit_manifest(tracer, "store.decode_pool")
-        return result
+        self._validate_pool(pool, n_units)
+        result = self._serve(
+            [ReadRequest(
+                reads=pool, n_data_bits=n_data_bits, pool=True,
+                clusterer=clusterer, ranking=ranking,
+                confidence_threshold=confidence_threshold,
+            )],
+            "store.decode_pool",
+            {"n_units": n_units, "n_reads": pool.n_reads,
+             "n_data_bits": n_data_bits},
+        )[0]
+        return result.bits, result.report
 
     def decode_units(
+        self,
+        reads: StoreReads,
+        n_data_bits: int,
+        ranking: Optional[np.ndarray] = None,
+        confidence_threshold: Optional[float] = None,
+    ):
+        """Deprecated: use :meth:`read` with ``ReadRequest(
+        reference=True)``. Returns ``(bits, StoreReport)``."""
+        warnings.warn(
+            "DnaStore.decode_units is deprecated; use "
+            "DnaStore.read(ReadRequest(reads, n_data_bits, "
+            "reference=True))",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._decode_units_reference(
+            reads, n_data_bits, ranking, confidence_threshold
+        )
+
+    def _decode_units_reference(
         self,
         reads: StoreReads,
         n_data_bits: int,
@@ -255,9 +527,9 @@ class DnaStore:
 
         The original store decode loop, kept — like the per-cluster
         reconstructors in :mod:`repro.consensus.reference` — as the
-        differential baseline the batched :meth:`decode` is pinned
-        against. Accepts the same input forms and returns byte-identical
-        results; it is simply N reconstructor calls instead of one.
+        differential baseline the batched engine is pinned against.
+        Accepts the same input forms and returns byte-identical results;
+        it is simply N reconstructor calls instead of one.
         """
         n_units = self.units_needed(n_data_bits)
         received = [
@@ -296,12 +568,31 @@ class DnaStore:
         soft-erasure retry wave) for the whole store.
         """
         n_units = self.units_needed(n_data_bits)
-        stripe_sizes = [
+        corrected = self.pipeline.correct_many(
+            received, self._stripe_sizes(n_data_bits, n_units)
+        )
+        return self._assemble_bits(corrected, n_data_bits, ranking)
+
+    @staticmethod
+    def _stripe_sizes(n_data_bits: int, n_units: int) -> List[int]:
+        """Per-unit stripe lengths of the round-robin deal."""
+        return [
             len(range(u, n_data_bits, n_units)) for u in range(n_units)
         ]
+
+    @staticmethod
+    def _assemble_bits(corrected, n_data_bits, ranking):
+        """Reassemble corrected unit stripes into the payload bits.
+
+        ``corrected`` is one ``(stripe, DecodeReport)`` per unit — what
+        ``correct_many`` returns, and what the service plane's
+        decoded-unit cache stores. The stripes interleave back
+        round-robin; ``ranking`` (the encode-time global permutation) is
+        applied here, so cached stripes stay ranking-independent.
+        """
+        n_units = len(corrected)
         prioritized = np.zeros(n_data_bits, dtype=np.uint8)
         reports = []
-        corrected = self.pipeline.correct_many(received, stripe_sizes)
         for u, (stripe, report) in enumerate(corrected):
             prioritized[u::n_units] = stripe
             reports.append(report)

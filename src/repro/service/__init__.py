@@ -1,0 +1,36 @@
+"""The random-access serving plane (the paper's Section 2.1 workload).
+
+Many users each pull one object out of a shared pool; the plane turns
+that traffic into amortized pipeline work:
+
+* :class:`~repro.service.plane.StoreService` — a request queue whose
+  :meth:`~repro.service.plane.StoreService.tick` coalesces every drained
+  ticket into one spanning consensus pass and one batched RS errata
+  pass (the :meth:`~repro.core.store.DnaStore.read_many` engine);
+* :class:`~repro.service.cache.DecodedUnitCache` — the decoded-unit
+  LRU in front of the pipeline, invalidated by epoch on re-encode, so
+  repeat reads never touch consensus or RS at all.
+
+Quick start::
+
+    service = StoreService(store, cache_capacity=256, batch_window=16)
+    service.put("fileA", reads_a, bits_a.size)
+    service.put("fileB", pool_b, bits_b.size, pool=True)
+    service.submit("fileA"); service.submit("fileB")
+    for result in service.tick():       # ONE coalesced decode
+        assert result.clean
+
+``ReadRequest``/``ReadResult`` (re-exported here) are the request-shaped
+read surface on :class:`~repro.core.store.DnaStore` itself.
+"""
+
+from repro.core.store import ReadRequest, ReadResult
+from repro.service.cache import DecodedUnitCache
+from repro.service.plane import StoreService
+
+__all__ = [
+    "DecodedUnitCache",
+    "ReadRequest",
+    "ReadResult",
+    "StoreService",
+]

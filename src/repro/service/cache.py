@@ -1,0 +1,81 @@
+"""The decoded-unit LRU cache fronting the serving plane.
+
+Entries are corrected unit stripes — the ``(stripe, DecodeReport)``
+pairs ``correct_many`` emits, *before* ranking reassembly — keyed by
+``(object_id, unit_index, epoch)``. Caching below the ranking step
+keeps entries valid for any per-request ranking; caching per unit keeps
+the cache granular under LRU pressure (a huge object evicts many small
+entries, not one giant one).
+
+The epoch is the invalidation handle: :meth:`~repro.service.plane.
+StoreService.put` bumps an object's epoch when its reads are replaced
+(a store re-encode), so stale entries become unreachable immediately
+and age out of the LRU naturally — :meth:`DecodedUnitCache.invalidate`
+drops them eagerly as well.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class DecodedUnitCache:
+    """A capacity-bounded LRU of corrected unit stripes.
+
+    ``capacity`` counts *unit* entries, not objects; ``capacity=0``
+    disables caching entirely (every :meth:`get` misses, :meth:`put`
+    stores nothing) — the throughput benchmark runs the plane this way
+    so it measures coalescing, not cache hits.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, object_id, unit_index: int, epoch: int) -> Optional[tuple]:
+        """The cached ``(stripe, DecodeReport)``, or ``None`` on miss."""
+        key = (object_id, unit_index, epoch)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, object_id, unit_index: int, epoch: int,
+            entry: tuple) -> None:
+        """Store one corrected unit, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        key = (object_id, unit_index, epoch)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, object_id) -> int:
+        """Eagerly drop every entry of ``object_id`` (any epoch).
+
+        The epoch bump already makes stale entries unreachable; eager
+        removal frees their capacity immediately. Returns the number of
+        entries dropped.
+        """
+        stale = [key for key in self._entries if key[0] == object_id]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,243 @@
+"""The request-queue serving plane: coalesce, decode once, answer many.
+
+:class:`StoreService` models the paper's random-access workload (many
+users each pulling one object out of a shared pool) as a queue in front
+of one :class:`~repro.core.store.DnaStore`. Readable objects are
+registered once with :meth:`StoreService.put`; users enqueue tickets
+with :meth:`StoreService.submit`; each :meth:`StoreService.tick` drains
+up to ``batch_window`` tickets and serves them all through **one**
+coalesced decode — duplicate requests for the same object collapse to
+one decode, all distinct objects' units merge into one spanning
+consensus pass and one batched RS errata pass (the
+:meth:`~repro.core.store.DnaStore.read_many` engine), and objects whose
+units are resident in the :class:`~repro.service.cache.DecodedUnitCache`
+skip the pipeline entirely.
+
+The tick loop is traced (``service.tick`` spans, ``service.*``
+counters, a run manifest per tick when a recording tracer is active),
+so serving runs leave the same machine-checkable evidence as decode
+runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.store import DnaStore, ReadRequest, ReadResult
+from repro.observability.trace import get_tracer
+from repro.service.cache import DecodedUnitCache
+
+
+@dataclass
+class _CatalogEntry:
+    """One readable object: its read material and decode options."""
+
+    reads: object
+    n_data_bits: int
+    pool: bool
+    ranking: object
+    confidence_threshold: Optional[float]
+    clusterer: object
+    epoch: int
+
+
+class StoreService:
+    """A coalescing read queue + decoded-unit cache over one store.
+
+    Args:
+        store: the :class:`~repro.core.store.DnaStore` to serve from.
+        cache_capacity: decoded-unit LRU capacity (unit entries;
+            ``0`` disables caching).
+        batch_window: max tickets drained per :meth:`tick`
+            (``None`` = drain everything). The throughput benchmark
+            sweeps this knob: window 1 degenerates to one decode per
+            request, larger windows amortize the consensus and errata
+            passes across more requests.
+    """
+
+    def __init__(
+        self,
+        store: DnaStore,
+        cache_capacity: int = 1024,
+        batch_window: Optional[int] = None,
+    ) -> None:
+        if batch_window is not None and batch_window < 1:
+            raise ValueError(
+                f"batch_window must be positive, got {batch_window}"
+            )
+        self.store = store
+        self.cache = DecodedUnitCache(cache_capacity)
+        self.batch_window = batch_window
+        self._catalog: Dict[object, _CatalogEntry] = {}
+        self._queue: List[tuple] = []  # (ticket, object_id, t_submit)
+        self._next_ticket = 0
+
+    # -- catalog -------------------------------------------------------------
+
+    def put(
+        self,
+        object_id,
+        reads,
+        n_data_bits: int,
+        pool: bool = False,
+        ranking=None,
+        confidence_threshold: Optional[float] = None,
+        clusterer=None,
+    ) -> int:
+        """Register (or replace) a readable object; returns its epoch.
+
+        Re-putting an existing ``object_id`` is the re-encode path: the
+        epoch bumps and every cached unit of the object is invalidated,
+        so the next read decodes the new material.
+        """
+        previous = self._catalog.get(object_id)
+        epoch = 0 if previous is None else previous.epoch + 1
+        if previous is not None:
+            self.cache.invalidate(object_id)
+        self._catalog[object_id] = _CatalogEntry(
+            reads=reads, n_data_bits=n_data_bits, pool=pool,
+            ranking=ranking, confidence_threshold=confidence_threshold,
+            clusterer=clusterer, epoch=epoch,
+        )
+        return epoch
+
+    def invalidate(self, object_id) -> int:
+        """Drop an object's cached units without replacing its reads."""
+        return self.cache.invalidate(object_id)
+
+    # -- the queue -----------------------------------------------------------
+
+    def submit(self, object_id) -> int:
+        """Enqueue one read of ``object_id``; returns the ticket number.
+
+        Tickets are answered in submission order by a later
+        :meth:`tick`; many tickets for the same object in one window
+        share a single decode.
+        """
+        if object_id not in self._catalog:
+            raise KeyError(f"unknown object {object_id!r}; put() it first")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._queue.append((ticket, object_id, time.perf_counter()))
+        return ticket
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- the tick loop -------------------------------------------------------
+
+    def tick(self) -> List[ReadResult]:
+        """Serve up to ``batch_window`` queued tickets in one decode.
+
+        Returns one :class:`~repro.core.store.ReadResult` per drained
+        ticket, in submission order (``seconds`` spans submit →
+        completion, queue wait included). An empty queue is a no-op
+        returning ``[]``. All pipeline work of the tick is coalesced:
+        at most one spanning consensus pass and one batched RS errata
+        pass, however many tickets drain; a tick whose objects are all
+        cache-resident performs no pipeline work at all.
+        """
+        if not self._queue:
+            return []
+        window = self.batch_window or len(self._queue)
+        drained = self._queue[:window]
+        del self._queue[:window]
+
+        tracer = get_tracer()
+        with tracer.span(
+            "service.tick",
+            n_requests=len(drained),
+            queue_depth=len(self._queue),
+            batch_window=self.batch_window or 0,
+        ) as span:
+            answers, n_objects, unit_hits, unit_misses = self._serve_window(
+                drained
+            )
+            span.set(
+                n_objects=n_objects,
+                cache_unit_hits=unit_hits,
+                cache_unit_misses=unit_misses,
+            )
+            if tracer.is_recording:
+                metrics = tracer.metrics
+                metrics.counter("service.requests").add(len(drained))
+                metrics.counter("service.ticks").add(1)
+                metrics.counter("service.cache_unit_hits").add(unit_hits)
+                metrics.counter("service.cache_unit_misses").add(unit_misses)
+                metrics.gauge("service.queue_depth").set(len(self._queue))
+        self.store._emit_manifest(tracer, "service.tick")
+        return answers
+
+    def _serve_window(self, drained):
+        """Decode a drained window; returns (answers, n_objects,
+        unit cache hits, unit cache misses)."""
+        distinct: List = []
+        for _, object_id, _ in drained:
+            if object_id not in distinct:
+                distinct.append(object_id)
+
+        cached: Dict[object, list] = {}
+        missing: List = []
+        unit_hits = 0
+        unit_misses = 0
+        for object_id in distinct:
+            entry = self._catalog[object_id]
+            n_units = self.store.units_needed(entry.n_data_bits)
+            units = [
+                self.cache.get(object_id, u, entry.epoch)
+                for u in range(n_units)
+            ]
+            found = sum(unit is not None for unit in units)
+            unit_hits += found
+            unit_misses += n_units - found
+            if found == n_units:
+                cached[object_id] = units
+            else:
+                # Partial residency (LRU evicted some units) re-decodes
+                # the whole object — the spanning batch is per object,
+                # and whole-object refill restores full residency.
+                missing.append(object_id)
+
+        decoded: Dict[object, tuple] = {}
+        if missing:
+            requests = [
+                ReadRequest(
+                    reads=self._catalog[oid].reads,
+                    n_data_bits=self._catalog[oid].n_data_bits,
+                    pool=self._catalog[oid].pool,
+                    ranking=self._catalog[oid].ranking,
+                    confidence_threshold=(
+                        self._catalog[oid].confidence_threshold
+                    ),
+                    clusterer=self._catalog[oid].clusterer,
+                    object_id=oid,
+                )
+                for oid in missing
+            ]
+            served = self.store._read_many_impl(requests)
+            for oid, (bits, report, corrected) in zip(missing, served):
+                decoded[oid] = (bits, report)
+                epoch = self._catalog[oid].epoch
+                for u, unit_entry in enumerate(corrected):
+                    self.cache.put(oid, u, epoch, unit_entry)
+
+        answers = []
+        now = time.perf_counter()
+        for ticket, object_id, t_submit in drained:
+            entry = self._catalog[object_id]
+            if object_id in decoded:
+                bits, report = decoded[object_id]
+                hit = False
+            else:
+                bits, report = self.store._assemble_bits(
+                    cached[object_id], entry.n_data_bits, entry.ranking
+                )
+                hit = True
+            answers.append(ReadResult(
+                bits=bits, report=report, object_id=object_id,
+                cache_hit=hit, seconds=now - t_submit,
+            ))
+        return answers, len(distinct), unit_hits, unit_misses

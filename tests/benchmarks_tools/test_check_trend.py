@@ -174,6 +174,45 @@ class TestCompareSeries:
         assert check_trend.compare_series(baseline, fresh,
                                           rtol=1e-9) == ([], [])
 
+    def test_timing_series_noted_not_drift(self, evidence):
+        """Wall-clock-valued series (requests/sec, latency percentiles)
+        vary run to run; the baseline's ``timing_series`` list exempts
+        them from the rtol gate — noted, never failed."""
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_service.json": {
+            "title": "service", "x": [1, 8],
+            "series": {"requests_per_sec": [110.0, 800.0],
+                       "consensus_passes": [8.0, 1.0]},
+            "timing_series": ["requests_per_sec"]}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_service.json": {
+            "title": "service", "x": [1, 8],
+            "series": {"requests_per_sec": [95.0, 1200.0],
+                       "consensus_passes": [8.0, 1.0]},
+            "timing_series": ["requests_per_sec"]}})
+        problems, notes = check_trend.compare_series(baseline, fresh,
+                                                     rtol=1e-9)
+        assert problems == []
+        assert notes and "requests_per_sec" in notes[0]
+        assert "not drift-gated" in notes[0]
+
+    def test_timing_series_exemption_leaves_others_gated(self, evidence):
+        """The exemption is per series name: a deterministic series in
+        the same file still drift-gates."""
+        baseline, fresh = evidence
+        write_evidence(baseline, {"a": 1.0}, {"BENCH_service.json": {
+            "title": "service", "x": [8],
+            "series": {"p99_ms": [4.0], "consensus_passes": [1.0]},
+            "timing_series": ["p99_ms"]}})
+        write_evidence(fresh, {"a": 1.0}, {"BENCH_service.json": {
+            "title": "service", "x": [8],
+            "series": {"p99_ms": [9.0], "consensus_passes": [8.0]},
+            "timing_series": ["p99_ms"]}})
+        problems, notes = check_trend.compare_series(baseline, fresh,
+                                                     rtol=1e-9)
+        assert len(problems) == 1
+        assert problems[0][1] == "consensus_passes[x=8]"
+        assert any("p99_ms" in note for note in notes)
+
 
 class TestCompareStages:
     def test_share_drift_detected(self, evidence):

@@ -571,3 +571,113 @@ class TestTracingBudget:
             f"{TRACING_OVERHEAD_BUDGET:.0%} of the "
             f"{decode_seconds * 1e3:.1f}ms decode"
         )
+
+
+class TestServiceTickBudget:
+    """The serving plane's amortization contract: one tick = at most one
+    consensus batch call and one RS errata call, however many requests
+    drain — and a warm-cache tick makes none at all."""
+
+    N_OBJECTS = 8
+
+    def build_service(self, calls):
+        from repro.consensus import TwoWayReconstructor
+        from repro.service import StoreService
+
+        class CountingTwoWay(TwoWayReconstructor):
+            def reconstruct_batch(self, batch, length):
+                calls.append(batch.n_clusters)
+                return super().reconstruct_batch(batch, length)
+
+        matrix = MatrixConfig(m=8, n_columns=24, nsym=4, payload_rows=6)
+        store = DnaStore(PipelineConfig(matrix=matrix),
+                         reconstructor=CountingTwoWay())
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.01), FixedCoverage(5)
+        )
+        rng = np.random.default_rng(60)
+        service = StoreService(store, cache_capacity=256)
+        expected = {}
+        for k in range(self.N_OBJECTS):
+            bits = rng.integers(0, 2, store.unit_capacity_bits,
+                                dtype=np.uint8)
+            image = store.encode(bits)
+            batch = simulator.sequence_store(image, rng=7000 + k)
+            service.put(f"obj{k}", batch, bits.size)
+            expected[f"obj{k}"] = bits
+        return store, service, expected, matrix
+
+    def test_tick_issues_one_consensus_and_one_errata_pass(self):
+        """N>=8 concurrent object reads, one tick: exactly ONE spanning
+        reconstruct_batch call and ONE ReedSolomon.decode_many call."""
+        consensus_calls = []
+        store, service, expected, matrix = self.build_service(
+            consensus_calls
+        )
+        rs = store.pipeline._rs
+        rs_calls = []
+        original = rs.decode_many
+
+        def counting(words, erasure_table=None):
+            rs_calls.append(words.shape[0])
+            return original(words, erasure_table)
+
+        for oid in expected:
+            service.submit(oid)
+        consensus_calls.clear()
+        rs.decode_many = counting
+        try:
+            results = service.tick()
+        finally:
+            del rs.decode_many
+
+        assert len(results) == self.N_OBJECTS
+        assert len(consensus_calls) == 1, (
+            f"service tick issued {len(consensus_calls)} reconstructor "
+            f"batch calls for {self.N_OBJECTS} requests; the plane must "
+            f"coalesce them into one"
+        )
+        assert len(rs_calls) == 1, (
+            f"service tick issued {len(rs_calls)} decode_many calls; "
+            f"the errata pass must be shared across all requests"
+        )
+        assert rs_calls[0] == self.N_OBJECTS * matrix.payload_rows
+        for result in results:
+            assert result.report.clean
+            np.testing.assert_array_equal(
+                result.bits, expected[result.object_id]
+            )
+
+    def test_warm_cache_tick_makes_zero_pipeline_calls(self):
+        """Repeat reads of cached objects bypass the pipeline entirely:
+        zero reconstruct_batch calls, zero errata calls."""
+        consensus_calls = []
+        store, service, expected, _ = self.build_service(consensus_calls)
+        for oid in expected:
+            service.submit(oid)
+        service.tick()  # cold tick fills the decoded-unit cache
+
+        rs = store.pipeline._rs
+        rs_calls = []
+        original = rs.decode_many
+
+        def counting(words, erasure_table=None):
+            rs_calls.append(words.shape[0])
+            return original(words, erasure_table)
+
+        for oid in expected:
+            service.submit(oid)
+        consensus_calls.clear()
+        rs.decode_many = counting
+        try:
+            results = service.tick()
+        finally:
+            del rs.decode_many
+
+        assert consensus_calls == []
+        assert rs_calls == []
+        assert all(result.cache_hit for result in results)
+        for result in results:
+            np.testing.assert_array_equal(
+                result.bits, expected[result.object_id]
+            )

@@ -1,0 +1,90 @@
+"""Decoded-unit LRU cache: ordering, eviction, epochs, invalidation."""
+
+import pytest
+
+from repro.service import DecodedUnitCache
+
+
+def entry(tag):
+    """A stand-in (stripe, report) payload."""
+    return (tag, f"report-{tag}")
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = DecodedUnitCache(capacity=4)
+        assert cache.get("a", 0, 0) is None
+        cache.put("a", 0, 0, entry("a0"))
+        assert cache.get("a", 0, 0) == entry("a0")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_keys_are_object_unit_epoch(self):
+        cache = DecodedUnitCache(capacity=8)
+        cache.put("a", 0, 0, entry("a0"))
+        assert cache.get("a", 1, 0) is None      # other unit
+        assert cache.get("b", 0, 0) is None      # other object
+        assert cache.get("a", 0, 1) is None      # other epoch
+        assert cache.get("a", 0, 0) == entry("a0")
+
+    def test_len_counts_entries(self):
+        cache = DecodedUnitCache(capacity=8)
+        for u in range(3):
+            cache.put("a", u, 0, entry(f"a{u}"))
+        assert len(cache) == 3
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = DecodedUnitCache(capacity=2)
+        cache.put("a", 0, 0, entry("a"))
+        cache.put("b", 0, 0, entry("b"))
+        cache.get("a", 0, 0)                     # refresh a
+        cache.put("c", 0, 0, entry("c"))         # evicts b, not a
+        assert cache.get("b", 0, 0) is None
+        assert cache.get("a", 0, 0) == entry("a")
+        assert cache.get("c", 0, 0) == entry("c")
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = DecodedUnitCache(capacity=2)
+        cache.put("a", 0, 0, entry("a"))
+        cache.put("b", 0, 0, entry("b"))
+        cache.put("a", 0, 0, entry("a2"))        # re-put refreshes a
+        cache.put("c", 0, 0, entry("c"))         # evicts b
+        assert cache.get("a", 0, 0) == entry("a2")
+        assert cache.get("b", 0, 0) is None
+
+    def test_capacity_zero_disables_caching(self):
+        cache = DecodedUnitCache(capacity=0)
+        cache.put("a", 0, 0, entry("a"))
+        assert len(cache) == 0
+        assert cache.get("a", 0, 0) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DecodedUnitCache(capacity=-1)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_every_unit_of_the_object(self):
+        cache = DecodedUnitCache(capacity=8)
+        for u in range(3):
+            cache.put("a", u, 0, entry(f"a{u}"))
+        cache.put("b", 0, 0, entry("b"))
+        assert cache.invalidate("a") == 3
+        assert len(cache) == 1
+        assert cache.get("b", 0, 0) == entry("b")
+
+    def test_invalidate_spans_epochs(self):
+        cache = DecodedUnitCache(capacity=8)
+        cache.put("a", 0, 0, entry("old"))
+        cache.put("a", 0, 1, entry("new"))
+        assert cache.invalidate("a") == 2
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = DecodedUnitCache(capacity=8)
+        cache.put("a", 0, 0, entry("a"))
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,285 @@
+"""StoreService: coalescing, dedup, cache residency and invalidation.
+
+The serving plane's contract: a tick is at most one consensus pass and
+one RS errata pass however many tickets drain; duplicate requests for
+one object decode once; warm-cache reads perform zero pipeline work;
+re-putting an object (a store re-encode) invalidates its cached units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
+from repro.consensus import TwoWayReconstructor
+from repro.core import MatrixConfig, PipelineConfig
+from repro.core.store import DnaStore
+from repro.observability import Tracer, use_tracer
+from repro.service import StoreService
+
+MATRIX = MatrixConfig(m=8, n_columns=24, nsym=4, payload_rows=6)
+
+
+class CountingTwoWay(TwoWayReconstructor):
+    """Reconstructor that records every consensus batch call."""
+
+    calls: list = []
+
+    def reconstruct_batch(self, batch, length):
+        CountingTwoWay.calls.append(batch.n_clusters)
+        return super().reconstruct_batch(batch, length)
+
+
+def make_store():
+    CountingTwoWay.calls = []
+    return DnaStore(PipelineConfig(matrix=MATRIX),
+                    reconstructor=CountingTwoWay())
+
+
+def make_objects(store, n_objects, units=1, seed=0, labeled=True):
+    """Encode + sequence ``n_objects`` payloads; returns
+    ``{object_id: (reads, bits)}``."""
+    rng = np.random.default_rng(seed)
+    simulator = SequencingSimulator(ErrorModel.uniform(0.01),
+                                    FixedCoverage(5))
+    objects = {}
+    for k in range(n_objects):
+        bits = rng.integers(
+            0, 2, units * store.unit_capacity_bits - (3 if units > 1 else 0),
+            dtype=np.uint8,
+        )
+        image = store.encode(bits)
+        reads = simulator.sequence_store(image, rng=1000 + k,
+                                         labeled=labeled)
+        objects[f"obj{k}"] = (reads, bits)
+    return objects
+
+
+@pytest.fixture
+def served():
+    """A store + service + 6 registered single-unit objects."""
+    store = make_store()
+    objects = make_objects(store, 6)
+    service = StoreService(store, cache_capacity=64)
+    for oid, (reads, bits) in objects.items():
+        service.put(oid, reads, bits.size)
+    return store, service, objects
+
+
+class TestTickBasics:
+    def test_empty_tick_returns_empty(self, served):
+        _, service, _ = served
+        assert service.tick() == []
+        assert CountingTwoWay.calls == []
+
+    def test_single_request_round_trips(self, served):
+        _, service, objects = served
+        service.submit("obj2")
+        results = service.tick()
+        assert len(results) == 1
+        result = results[0]
+        assert result.object_id == "obj2"
+        assert result.clean and not result.cache_hit
+        assert result.seconds > 0.0
+        np.testing.assert_array_equal(result.bits, objects["obj2"][1])
+
+    def test_unknown_object_rejected_at_submit(self, served):
+        _, service, _ = served
+        with pytest.raises(KeyError, match="put"):
+            service.submit("nope")
+
+    def test_tick_answers_in_submission_order(self, served):
+        _, service, objects = served
+        order = ["obj3", "obj0", "obj5", "obj1"]
+        for oid in order:
+            service.submit(oid)
+        results = service.tick()
+        assert [r.object_id for r in results] == order
+        for result in results:
+            np.testing.assert_array_equal(
+                result.bits, objects[result.object_id][1]
+            )
+
+    def test_batch_window_drains_incrementally(self, served):
+        _, service, _ = served
+        service.batch_window = 2
+        for oid in ("obj0", "obj1", "obj2"):
+            service.submit(oid)
+        first = service.tick()
+        assert [r.object_id for r in first] == ["obj0", "obj1"]
+        assert service.queue_depth == 1
+        second = service.tick()
+        assert [r.object_id for r in second] == ["obj2"]
+        assert service.queue_depth == 0
+
+    def test_bad_batch_window_rejected(self, served):
+        store, _, _ = served
+        with pytest.raises(ValueError, match="positive"):
+            StoreService(store, batch_window=0)
+
+
+class TestCoalescing:
+    def test_one_consensus_pass_per_tick(self, served):
+        """Six distinct objects, one tick, ONE reconstructor batch call."""
+        _, service, objects = served
+        for oid in objects:
+            service.submit(oid)
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(CountingTwoWay.calls) == 1
+        assert len(results) == len(objects)
+        assert all(r.clean for r in results)
+
+    def test_duplicates_decode_once_answer_twice(self, served):
+        _, service, objects = served
+        service.submit("obj4")
+        service.submit("obj4")
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(results) == 2
+        assert len(CountingTwoWay.calls) == 1
+        # One decode's clusters only: a single object's worth.
+        assert CountingTwoWay.calls[0] <= MATRIX.n_columns
+        for result in results:
+            np.testing.assert_array_equal(result.bits, objects["obj4"][1])
+
+
+class TestCache:
+    def test_warm_repeat_bypasses_pipeline_entirely(self, served):
+        """The acceptance bar: a warm-cache tick makes ZERO
+        reconstruct_batch calls (and zero RS errata calls)."""
+        store, service, objects = served
+        for oid in objects:
+            service.submit(oid)
+        service.tick()
+
+        rs = store.pipeline._rs
+        rs_calls = []
+        original = rs.decode_many
+
+        def counting(words, erasure_table=None):
+            rs_calls.append(words.shape[0])
+            return original(words, erasure_table)
+
+        CountingTwoWay.calls = []
+        rs.decode_many = counting
+        try:
+            for oid in objects:
+                service.submit(oid)
+            results = service.tick()
+        finally:
+            del rs.decode_many
+        assert CountingTwoWay.calls == []
+        assert rs_calls == []
+        assert all(r.cache_hit for r in results)
+        for result in results:
+            np.testing.assert_array_equal(
+                result.bits, objects[result.object_id][1]
+            )
+
+    def test_cache_capacity_zero_always_decodes(self, served):
+        store, _, objects = served
+        service = StoreService(store, cache_capacity=0)
+        for oid, (reads, bits) in objects.items():
+            service.put(oid, reads, bits.size)
+        service.submit("obj0")
+        service.tick()
+        service.submit("obj0")
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(CountingTwoWay.calls) == 1
+        assert not results[0].cache_hit
+
+    def test_reput_invalidates_and_serves_new_content(self, served):
+        """Re-encoding an object must not serve stale cached bits."""
+        store, service, objects = served
+        service.submit("obj1")
+        assert not service.tick()[0].cache_hit  # now cached
+
+        replacement = make_objects(store, 1, seed=99)["obj0"]
+        new_reads, new_bits = replacement
+        service.put("obj1", new_reads, new_bits.size)
+        service.submit("obj1")
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(CountingTwoWay.calls) == 1  # decoded fresh, not cached
+        assert not results[0].cache_hit
+        np.testing.assert_array_equal(results[0].bits, new_bits)
+
+    def test_explicit_invalidate_forces_redecode(self, served):
+        _, service, _ = served
+        service.submit("obj0")
+        service.tick()
+        assert service.invalidate("obj0") > 0
+        service.submit("obj0")
+        CountingTwoWay.calls = []
+        assert not service.tick()[0].cache_hit
+        assert len(CountingTwoWay.calls) == 1
+
+
+class TestMultiUnitAndPooled:
+    def test_multi_unit_objects_round_trip(self):
+        store = make_store()
+        objects = make_objects(store, 3, units=2, seed=7)
+        service = StoreService(store)
+        for oid, (reads, bits) in objects.items():
+            service.put(oid, reads, bits.size)
+            service.submit(oid)
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(CountingTwoWay.calls) == 1
+        for result in results:
+            assert result.clean
+            np.testing.assert_array_equal(
+                result.bits, objects[result.object_id][1]
+            )
+
+    def test_pooled_objects_coalesce_with_labeled(self):
+        store = make_store()
+        labeled = make_objects(store, 2, seed=3)
+        pooled = make_objects(store, 2, seed=4, labeled=False)
+        service = StoreService(store)
+        for oid, (reads, bits) in labeled.items():
+            service.put(f"lab-{oid}", reads, bits.size)
+            service.submit(f"lab-{oid}")
+        for oid, (reads, bits) in pooled.items():
+            service.put(f"pool-{oid}", reads, bits.size, pool=True)
+            service.submit(f"pool-{oid}")
+        CountingTwoWay.calls = []
+        results = service.tick()
+        assert len(CountingTwoWay.calls) == 1
+        expected = {f"lab-{k}": v[1] for k, v in labeled.items()}
+        expected.update({f"pool-{k}": v[1] for k, v in pooled.items()})
+        for result in results:
+            assert result.clean
+            np.testing.assert_array_equal(
+                result.bits, expected[result.object_id]
+            )
+
+
+class TestTelemetry:
+    def test_tick_span_counters_and_manifest(self, served):
+        _, service, objects = served
+        tracer = Tracer()
+        with use_tracer(tracer):
+            for oid in objects:
+                service.submit(oid)
+            service.tick()
+            for oid in objects:
+                service.submit(oid)
+            service.tick()  # warm
+        stages = tracer.stage_totals()
+        assert stages["service.tick"]["calls"] == 2
+        counters = tracer.metrics.snapshot()["counters"]
+        n = len(objects)
+        assert counters["service.requests"] == 2 * n
+        assert counters["service.ticks"] == 2
+        assert counters["service.cache_unit_misses"] == n
+        assert counters["service.cache_unit_hits"] == n
+        assert [m.name for m in tracer.manifests] == [
+            "service.tick", "service.tick",
+        ]
+        manifest = tracer.manifests[0]
+        assert "service.tick" in manifest.stages
+        span = tracer.roots[0].find("service.tick")
+        assert span.attributes["n_requests"] == n
+        assert span.attributes["n_objects"] == n
