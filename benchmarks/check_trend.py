@@ -8,13 +8,15 @@ script compares a *fresh* run of that evidence against the *committed
 baseline* and fails when a tracked stage regressed:
 
 * **timings** — a test regresses when its fresh wall clock exceeds the
-  baseline by more than ``--tolerance`` (a fraction; default 0.5 = +50%,
-  wide enough for shared-runner noise) *and* by at least
-  ``--min-seconds`` of absolute growth — a 40ms figure tripling to 120ms
-  is timer noise, but the same figure climbing to a full second is the
-  scalar-loop regression the gate exists to catch. Tests present on only
-  one side are reported but never fail the gate (benchmarks come and go
-  with the repo).
+  baseline by more than ``--tolerance`` (a fraction; default 0.3 =
+  +30%) *and* by at least ``--min-seconds`` of absolute growth. The
+  shared-runner noise floor lives in the absolute band, not the
+  fraction: a 40ms figure tripling to 120ms is timer noise and stays
+  under ``--min-seconds``, but the same figure climbing to a full
+  second is the scalar-loop regression the gate exists to catch —
+  which is why the fraction can sit at a tight 30% without flaking.
+  Tests present on only one side are reported but never fail the gate
+  (benchmarks come and go with the repo).
 * **series** — the figures are seeded simulations, so their series are
   expected to reproduce; any value drifting past ``--series-rtol``
   relative tolerance fails the gate (a silent accuracy change is as much
@@ -30,12 +32,13 @@ baseline* and fails when a tracked stage regressed:
 
 Usage (what the ``perf-trend`` workflow job runs; the tracked selection
 spans the consensus-bound figures, the min-coverage sweep, the skew
-figure, the unlabeled-pool clustering figure and the ablation suite)::
+figure, the clustering and LSH-scaling figures and the ablation
+suite)::
 
     cp -r benchmarks/out /tmp/baseline        # committed evidence
     python -m pytest benchmarks -q \
         -k "fig03 or fig04 or fig05 or fig11 or fig12 or fig_skew \
-            or fig_clustering or ablation"
+            or fig_clustering or fig_lsh or ablation"
     python benchmarks/check_trend.py --baseline /tmp/baseline \
         --fresh benchmarks/out
 
@@ -240,9 +243,10 @@ def main(argv=None) -> int:
                         help="directory holding the baseline BENCH_*.json")
     parser.add_argument("--fresh", required=True, type=Path,
                         help="directory holding the fresh BENCH_*.json")
-    parser.add_argument("--tolerance", type=float, default=0.5,
+    parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed fractional wall-clock growth "
-                             "(default 0.5 = +50%%)")
+                             "(default 0.3 = +30%%; --min-seconds "
+                             "absorbs the small-figure noise floor)")
     parser.add_argument("--min-seconds", type=float, default=0.5,
                         help="minimum absolute wall-clock change (seconds) "
                              "for a movement to count; smaller deltas are "

@@ -1,0 +1,172 @@
+"""LSH scaling figure: sub-linear candidate generation vs the greedy scan.
+
+The batched greedy clusterer screens every unassigned read against every
+new representative, so its work grows as pool x clusters — quadratic in
+pool size at fixed coverage. :class:`~repro.cluster.LSHClusterer`
+generates candidate pairs from minhash-band bin collisions only (then
+verifies each at exact edit distance), so its candidate count should
+track the pool near-linearly. This figure measures both clusterers over
+a quickstart-channel pool sweep (68-base strands, 6% errors, coverage
+10, 10k -> 50k reads): wall-clock seconds, the LSH candidate/verified
+pair counters, recovery quality against the ground truth the simulator
+knows, and the headline speedup.
+
+Expected shape: precision pins at 1.0 for both paths at every size
+(every LSH merge is DP-verified at the same threshold the greedy scan
+uses), recall stays within a point of the greedy scan, LSH wall-clock
+leads by well over the 5x acceptance floor at 50k reads, and LSH
+candidate pairs per read grow far slower than the pool (the greedy
+scan's screened pairs per read grow ~linearly with it — that is the
+quadratic).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.channel import ErrorModel, FixedCoverage, SequencingSimulator
+from repro.cluster import (
+    BatchedGreedyClusterer,
+    LSHClusterer,
+    pair_precision_recall,
+)
+from repro.codec import random_bases
+from repro.observability import get_tracer
+
+POOL_SIZES = (10_000, 25_000, 50_000)
+STRAND_LENGTH = 68
+ERROR_RATE = 0.06
+COVERAGE = 10
+
+#: Acceptance floor: LSH wall-clock lead over the greedy scan at the
+#: largest pool of the sweep.
+SPEEDUP_FLOOR = 5.0
+
+#: Near-linearity gate: over the 5x pool growth of the sweep, LSH
+#: candidate pairs *per read* may grow at most this much (the greedy
+#: scan's screened pairs per read grow ~5x — fully quadratic).
+PAIR_GROWTH_CEILING = 3.0
+
+
+def _pool(n_reads, seed):
+    rng = np.random.default_rng(seed)
+    strands = [random_bases(STRAND_LENGTH, rng)
+               for _ in range(n_reads // COVERAGE)]
+    simulator = SequencingSimulator(
+        ErrorModel.uniform(ERROR_RATE), FixedCoverage(COVERAGE)
+    )
+    labeled = simulator.sequence_batch(strands, rng)
+    permutation = rng.permutation(labeled.n_reads)
+    truth = labeled.cluster_ids[permutation]
+    pool = labeled.pooled()  # one unlabeled pool over the sweep's strands
+    pool = type(pool)(
+        pool.buffer, pool.offsets[permutation], pool.lengths[permutation],
+        pool.cluster_ids, n_clusters=pool.n_clusters,
+    )
+    return pool, truth
+
+
+def _timed_assign(kind, clusterer, pool):
+    """(seconds, assignment, counter deltas) of one clustering run.
+
+    Counters accumulate in the session tracer across the whole sweep, so
+    each run's contribution is the snapshot delta around it. The span
+    puts both clusterers' runs in this figure's manifest.
+    """
+    tracer = get_tracer()
+    before = dict(tracer.metrics.snapshot()["counters"])
+    with tracer.span(f"bench.lsh_scaling.{kind}", n_reads=pool.n_reads):
+        start = time.perf_counter()
+        assignment, _ = clusterer.assign(pool)
+        elapsed = time.perf_counter() - start
+    after = tracer.metrics.snapshot()["counters"]
+    deltas = {name: value - before.get(name, 0)
+              for name, value in after.items()}
+    return elapsed, assignment, deltas
+
+
+def _one_size(n_reads, rng):
+    pool, truth = _pool(n_reads, rng)
+    lsh = LSHClusterer.for_strand_length(STRAND_LENGTH)
+    greedy = BatchedGreedyClusterer.for_strand_length(STRAND_LENGTH)
+
+    lsh_s, lsh_assignment, lsh_counters = _timed_assign("lsh", lsh, pool)
+    greedy_s, greedy_assignment, greedy_counters = _timed_assign(
+        "greedy", greedy, pool
+    )
+    lsh_precision, lsh_recall = pair_precision_recall(truth, lsh_assignment)
+    greedy_precision, greedy_recall = pair_precision_recall(
+        truth, greedy_assignment
+    )
+    return {
+        "lsh_seconds": lsh_s,
+        "greedy_seconds": greedy_s,
+        "speedup": greedy_s / lsh_s,
+        "lsh_pairs_per_read":
+            lsh_counters["cluster.lsh.candidate_pairs"] / pool.n_reads,
+        "lsh_verified_per_read":
+            lsh_counters["cluster.lsh.verified_pairs"] / pool.n_reads,
+        "greedy_pairs_per_read":
+            greedy_counters["cluster.pairs_screened"] / pool.n_reads,
+        "lsh_precision": lsh_precision,
+        "lsh_recall": lsh_recall,
+        "greedy_precision": greedy_precision,
+        "greedy_recall": greedy_recall,
+    }
+
+
+def run_experiment(rng=2022):
+    return [_one_size(n, rng) for n in POOL_SIZES]
+
+
+@pytest.mark.slow
+@pytest.mark.paperscale
+def test_fig_lsh_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Pair counters and quality are seeded and byte-stable — they are
+    # the trend-gated evidence; the wall-clock columns are machine
+    # noise, listed as timing series so check_trend.py reports instead
+    # of gating them.
+    print_series(
+        f"Fig L: LSH vs greedy clustering scaling "
+        f"(L={STRAND_LENGTH}, e={ERROR_RATE:.0%}, N={COVERAGE})",
+        list(POOL_SIZES),
+        {
+            key: [row[key] for row in rows]
+            for key in (
+                "lsh_seconds", "greedy_seconds", "speedup",
+                "lsh_pairs_per_read", "lsh_verified_per_read",
+                "greedy_pairs_per_read",
+                "lsh_precision", "lsh_recall",
+                "greedy_precision", "greedy_recall",
+            )
+        },
+        timing_series=("lsh_seconds", "greedy_seconds", "speedup"),
+    )
+    # Exact verification means neither path ever merges distinct
+    # strands.
+    assert all(row["lsh_precision"] == 1.0 for row in rows)
+    assert all(row["greedy_precision"] == 1.0 for row in rows)
+    # LSH recovery stays within a point of the exact greedy scan.
+    assert all(row["lsh_recall"] > row["greedy_recall"] - 0.01
+               for row in rows)
+    # The headline: the acceptance floor at the largest pool.
+    assert rows[-1]["speedup"] >= SPEEDUP_FLOOR, (
+        f"LSH led greedy by only {rows[-1]['speedup']:.1f}x at "
+        f"{POOL_SIZES[-1]} reads; the floor is {SPEEDUP_FLOOR}x"
+    )
+    # Near-linear candidate growth: pairs per read must not track the
+    # pool. The greedy scan's screened pairs per read DO (that is the
+    # quadratic this figure exists to show).
+    lsh_growth = (rows[-1]["lsh_pairs_per_read"]
+                  / rows[0]["lsh_pairs_per_read"])
+    greedy_growth = (rows[-1]["greedy_pairs_per_read"]
+                     / rows[0]["greedy_pairs_per_read"])
+    assert lsh_growth < PAIR_GROWTH_CEILING, (
+        f"LSH candidate pairs per read grew {lsh_growth:.2f}x over a "
+        f"{POOL_SIZES[-1] / POOL_SIZES[0]:.0f}x pool sweep; the "
+        f"near-linearity ceiling is {PAIR_GROWTH_CEILING}x"
+    )
+    assert lsh_growth < greedy_growth

@@ -166,6 +166,26 @@ def main() -> None:
           f"exact={bool(np.array_equal(decoded, payload))} "
           f"clean={report.clean} in {pool_ms:.0f}ms")
 
+    # Past a few thousand reads per pool the greedy scan's pool x
+    # clusters candidate set dominates the decode. `clusterer=` swaps
+    # in the LSH-banded engine — minhash-band bin collisions propose
+    # the pairs, the same exact banded edit DP verifies every one, so
+    # precision stays 1.0 while candidates grow near-linearly with the
+    # pool (>5x faster than greedy at 50k reads; see
+    # benchmarks/test_fig_lsh_scaling.py). Same swap on decode_pool,
+    # StoreService.put, and `repro.cli serve --pool --clusterer lsh`.
+    from repro import LSHClusterer
+
+    lsh = LSHClusterer.for_strand_length(matrix.strand_length)
+    start = time.perf_counter()
+    decoded, report = store.read(
+        ReadRequest(pool, payload.size, pool=True, clusterer=lsh)
+    )
+    lsh_ms = 1000 * (time.perf_counter() - start)
+    print(f"unlabeled-pool decode (LSH): "
+          f"exact={bool(np.array_equal(decoded, payload))} "
+          f"clean={report.clean} in {lsh_ms:.0f}ms")
+
     # Every run above was silently instrumented: the decode path carries
     # stage spans and pipeline counters that the default NullTracer
     # no-ops away. Activate a real tracer and the same decode leaves a

@@ -118,6 +118,30 @@ then feeds the recovered clusters through the same single
 column via the embedded index field. The same path exists per unit as
 ``pipeline.decode_pool(batch.pooled(rng=...), ...)``.
 
+Large pools swap the clustering engine without touching the decode
+path: :class:`~repro.cluster.LSHClusterer` generates candidate pairs
+from minhash-band bin collisions over each read's q-gram set (sparse
+COO signatures, fixed per-band RNG substreams) instead of scanning the
+pool against every representative, verifies every collision with the
+same exact banded edit-distance kernel, and resolves components by
+vectorized union-find — near-linear candidate growth, >5x the greedy
+scan's speed at 50k reads (``benchmarks/test_fig_lsh_scaling.py``), and
+identical recovery-quality floors (pair precision 1.0, recall bounds in
+``tests/cluster/test_recovery.py``)::
+
+    from repro.cluster import LSHClusterer
+
+    clusterer = LSHClusterer.for_strand_length(
+        store.pipeline.matrix_config.strand_length
+    )
+    decoded, report = store.read(
+        ReadRequest(pool, bits.size, pool=True, clusterer=clusterer)
+    )
+
+Every pooled surface takes the same ``clusterer=`` swap:
+``decode_pool``, ``ReadRequest``, ``StoreService.put`` and the CLI's
+``serve --pool --clusterer lsh``.
+
 Scenario sweeps ride the same engine: ``ReadPool`` stores its pool as one
 ``ReadBatch`` and serves zero-copy coverage prefixes, and
 :class:`~repro.channel.ErrorRateMap` gives the engine per-strand/
@@ -193,6 +217,7 @@ from repro.channel import (
 from repro.cluster import (
     BatchedGreedyClusterer,
     GreedyClusterer,
+    LSHClusterer,
     pair_precision_recall,
 )
 from repro.codec import DirectCodec, RotationCodec
@@ -254,6 +279,7 @@ __all__ = [
     # clustering
     "GreedyClusterer",
     "BatchedGreedyClusterer",
+    "LSHClusterer",
     "pair_precision_recall",
     # codecs
     "DirectCodec",

@@ -226,16 +226,29 @@ def _serve(args) -> int:
     )
     service = StoreService(store, cache_capacity=args.cache,
                            batch_window=args.window)
+    clusterer = None
+    if args.pool:
+        from repro.cluster import BatchedGreedyClusterer, LSHClusterer
+
+        kind = {"greedy": BatchedGreedyClusterer,
+                "lsh": LSHClusterer}[args.clusterer]
+        clusterer = kind.for_strand_length(
+            store.pipeline.matrix_config.strand_length
+        )
     rng = np.random.default_rng(args.seed)
     for k in range(args.objects):
         bits = rng.integers(0, 2, store.unit_capacity_bits, dtype=np.uint8)
         image = store.encode(bits)
-        reads = simulator.sequence_store(image, rng=args.seed + 1 + k)
-        service.put(f"obj{k}", reads, bits.size)
+        reads = simulator.sequence_store(image, rng=args.seed + 1 + k,
+                                         labeled=not args.pool)
+        service.put(f"obj{k}", reads, bits.size, pool=args.pool,
+                    clusterer=clusterer)
+    mode = (f"unlabeled pools, {args.clusterer} clusterer" if args.pool
+            else "labeled reads")
     print(
         f"registered {args.objects} objects "
         f"({store.unit_capacity_bits} bits each, "
-        f"{args.error_rate:.1%} errors, coverage {args.coverage}); "
+        f"{args.error_rate:.1%} errors, coverage {args.coverage}, {mode}); "
         f"window={args.window}, cache={args.cache}"
     )
 
@@ -337,6 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rows", type=int, default=6)
     serve.add_argument("--error-rate", type=float, default=0.01)
     serve.add_argument("--coverage", type=int, default=5)
+    serve.add_argument("--pool", action="store_true",
+                       help="register objects as unlabeled per-unit pools "
+                            "(reads are clustered at decode time)")
+    serve.add_argument("--clusterer", default="greedy",
+                       choices=["greedy", "lsh"],
+                       help="clusterer pooled objects ride (with --pool): "
+                            "the exact greedy scan, or sub-linear LSH "
+                            "banding for large pools")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=_serve)
     return parser

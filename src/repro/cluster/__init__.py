@@ -16,6 +16,13 @@ identical to the string-plane :class:`GreedyClusterer` (itself pinned
 against the frozen original in :mod:`repro.cluster.reference`). That is
 what opens the unlabeled-pool workload: ``sequence_store(...,
 labeled=False)`` → cluster → ``DnaStore.decode_pool``.
+
+For pools too large for the greedy scan's O(pool × clusters) candidate
+set, :class:`LSHClusterer` (:mod:`repro.cluster.lsh`) generates
+candidates from minhash-band bin collisions only and verifies every
+collision with the exact banded DP — near-linear work, same
+``assign``/``cluster_batch``/``cluster_pools`` surface, output clusters
+still exact-edit-distance-verified.
 """
 
 from repro.cluster.batched import BatchedGreedyClusterer
@@ -27,10 +34,15 @@ from repro.cluster.distance import (
     edit_distance_indices,
 )
 from repro.cluster.greedy import GreedyClusterer
+from repro.cluster.lsh import LSHClusterer
 from repro.cluster.metrics import pair_precision_recall
 from repro.cluster.perfect import perfect_clusters
 from repro.cluster.reference import ReferenceGreedyClusterer
-from repro.cluster.signatures import batch_signatures, qgram_signature
+from repro.cluster.signatures import (
+    batch_signatures,
+    batch_signatures_sparse,
+    qgram_signature,
+)
 
 __all__ = [
     "edit_distance",
@@ -40,9 +52,11 @@ __all__ = [
     "banded_edit_distances_stack",
     "GreedyClusterer",
     "BatchedGreedyClusterer",
+    "LSHClusterer",
     "ReferenceGreedyClusterer",
     "perfect_clusters",
     "pair_precision_recall",
     "batch_signatures",
+    "batch_signatures_sparse",
     "qgram_signature",
 ]

@@ -41,6 +41,38 @@ from repro.cluster.signatures import batch_signatures, l1_distances
 from repro.observability.trace import get_tracer
 
 
+def padded_int16_matrix(batch: ReadBatch) -> Tuple[np.ndarray, np.ndarray]:
+    """The batch's padded read matrix, narrowed for the DP sweeps.
+
+    Base indices and the -1 sentinel fit comfortably in int16; the
+    stacked kernel's row arithmetic runs in int32 regardless. Shared by
+    every columnar clusterer (batched greedy and LSH).
+    """
+    matrix, lengths = batch.padded_matrix()
+    return matrix.astype(np.int16), lengths
+
+
+def relabel_batch(
+    batch: ReadBatch,
+    assignment: np.ndarray,
+    n_clusters: int,
+    source_indices: Optional[np.ndarray] = None,
+) -> ReadBatch:
+    """Regroup the batch's read rows by assigned cluster (zero-copy).
+
+    Cluster ``c`` holds the reads ``assignment`` put there, reads keeping
+    their input order within each cluster (stable sort)."""
+    order = np.argsort(assignment, kind="stable")
+    return ReadBatch(
+        batch.buffer,
+        batch.offsets[order],
+        batch.lengths[order],
+        assignment[order],
+        n_clusters=n_clusters,
+        source_indices=source_indices,
+    )
+
+
 class BatchedGreedyClusterer:
     """Greedy edit-distance clustering over a :class:`ReadBatch`.
 
@@ -231,28 +263,6 @@ class BatchedGreedyClusterer:
                                     source_indices=source_indices)
         return labeled, boundaries
 
-    @staticmethod
-    def _padded_int16(batch: ReadBatch):
-        """The batch's padded read matrix, narrowed for the DP sweeps
-        (base indices and the -1 sentinel fit comfortably; the stacked
-        kernel's row arithmetic runs in int32 regardless)."""
-        matrix, lengths = batch.padded_matrix()
-        return matrix.astype(np.int16), lengths
-
-    @staticmethod
-    def _relabel(
-        batch: ReadBatch,
-        assignment: np.ndarray,
-        n_clusters: int,
-        source_indices: Optional[np.ndarray] = None,
-    ) -> ReadBatch:
-        """Regroup the batch's read rows by assigned cluster (zero-copy)."""
-        order = np.argsort(assignment, kind="stable")
-        return ReadBatch(
-            batch.buffer,
-            batch.offsets[order],
-            batch.lengths[order],
-            assignment[order],
-            n_clusters=n_clusters,
-            source_indices=source_indices,
-        )
+    # Shared columnar helpers, kept as aliases for existing call sites.
+    _padded_int16 = staticmethod(padded_int16_matrix)
+    _relabel = staticmethod(relabel_batch)

@@ -1109,7 +1109,7 @@ class DnaStoragePipeline:
         self,
         pool: ReadBatch,
         n_data_bits: int,
-        clusterer: Optional[BatchedGreedyClusterer] = None,
+        clusterer=None,
         ranking: Optional[np.ndarray] = None,
         extra_erasure_columns: Sequence[int] = (),
     ) -> Tuple[np.ndarray, DecodeReport]:
@@ -1118,9 +1118,12 @@ class DnaStoragePipeline:
         The realistic retrieval entry point: ``pool`` carries reads with
         no ground-truth cluster labels (its own cluster structure is
         ignored — e.g. a one-cluster batch from
-        :meth:`~repro.channel.readbatch.ReadBatch.pooled`). The batched
-        greedy clusterer recovers the clusters on the columnar plane,
-        and the re-labeled batch decodes through the ordinary
+        :meth:`~repro.channel.readbatch.ReadBatch.pooled`). The
+        clusterer — the batched greedy scan by default, or any drop-in
+        with the same surface such as
+        :class:`~repro.cluster.LSHClusterer` — recovers the clusters on
+        the columnar plane, and the re-labeled batch decodes through the
+        ordinary
         :meth:`decode` — each recovered cluster's consensus strand names
         its own column via the embedded index field, first claim wins,
         and RS absorbs residual clustering mistakes.

@@ -46,6 +46,7 @@ import numpy as np
 from repro.channel.readbatch import ReadBatch
 from repro.channel.sequencer import ReadCluster
 from repro.cluster.batched import BatchedGreedyClusterer
+from repro.cluster.lsh import LSHClusterer
 from repro.consensus.base import Reconstructor
 from repro.core.pipeline import DecodeReport, DnaStoragePipeline, EncodedUnit, PipelineConfig
 from repro.observability.manifest import build_manifest
@@ -58,6 +59,11 @@ StoreReads = Union[
     Sequence[ReadBatch],
     Sequence[Sequence[ReadCluster]],
 ]
+
+#: Any clusterer a pooled request can ride: the exact batched greedy
+#: scan, or the sub-linear LSH-banded path for large pools — anything
+#: exposing the ``cluster_pools(batch, pool_boundaries)`` surface.
+PoolClusterer = Union[BatchedGreedyClusterer, LSHClusterer]
 
 
 @dataclass
@@ -125,8 +131,11 @@ class ReadRequest:
         ranking: the global priority permutation used at encode time.
         confidence_threshold: advisory-erasure threshold, as in
             :meth:`~repro.core.pipeline.DnaStoragePipeline.receive`.
-        clusterer: pooled requests only — the batched clusterer to use
-            (default: strand-length-derived threshold).
+        clusterer: pooled requests only — which clusterer recovers the
+            pool's clusters: :class:`~repro.cluster.BatchedGreedyClusterer`
+            (exact greedy scan, the default at a strand-length-derived
+            threshold) or :class:`~repro.cluster.LSHClusterer`
+            (sub-linear candidate generation for large pools).
         object_id: opaque caller tag, copied onto the result (the
             service plane keys its queue and cache on it).
     """
@@ -137,7 +146,7 @@ class ReadRequest:
     reference: bool = False
     ranking: Optional[np.ndarray] = None
     confidence_threshold: Optional[float] = None
-    clusterer: Optional[BatchedGreedyClusterer] = None
+    clusterer: Optional[PoolClusterer] = None
     object_id: Optional[object] = None
 
 
@@ -466,7 +475,7 @@ class DnaStore:
         self,
         pool: ReadBatch,
         n_data_bits: int,
-        clusterer: Optional[BatchedGreedyClusterer] = None,
+        clusterer: Optional[PoolClusterer] = None,
         ranking: Optional[np.ndarray] = None,
         confidence_threshold: Optional[float] = None,
     ):

@@ -7,6 +7,11 @@ regime and under a skewed (`ErrorRateMap`) channel, plus the metric's
 own unit behaviour. The ground truth rides along for free: the labeled
 batch's ``cluster_ids`` are the truth, the pool permutation is applied
 explicitly so truth and recovered labels stay aligned per read.
+
+The channel sweeps run against *both* pool clusterers — the exact
+batched greedy scan and the LSH-banded path — with identical bounds:
+the quality floor is the contract, whichever engine recovered the
+clusters.
 """
 
 import numpy as np
@@ -20,8 +25,14 @@ from repro.channel import (
     SequencingSimulator,
 )
 from repro.channel.readbatch import ReadBatch
-from repro.cluster import BatchedGreedyClusterer, pair_precision_recall
+from repro.cluster import (
+    BatchedGreedyClusterer,
+    LSHClusterer,
+    pair_precision_recall,
+)
 from repro.codec.basemap import random_bases
+
+CLUSTERERS = {"greedy": BatchedGreedyClusterer, "lsh": LSHClusterer}
 
 
 def shuffled_pool(labeled, rng):
@@ -37,13 +48,13 @@ def shuffled_pool(labeled, rng):
     return pool, labeled.cluster_ids[permutation]
 
 
-def recover(strands, model, coverage, rng, threshold=None):
+def recover(strands, model, coverage, rng, threshold=None, kind="greedy"):
     simulator = SequencingSimulator(model, coverage)
     labeled = simulator.sequence_batch(strands, rng)
     pool, truth = shuffled_pool(labeled, rng)
-    clusterer = (BatchedGreedyClusterer(threshold) if threshold is not None
-                 else BatchedGreedyClusterer.for_strand_length(
-                     len(strands[0])))
+    cls = CLUSTERERS[kind]
+    clusterer = (cls(threshold) if threshold is not None
+                 else cls.for_strand_length(len(strands[0])))
     predicted, n_clusters = clusterer.assign(pool)
     return truth, predicted, n_clusters
 
@@ -79,12 +90,14 @@ class TestPairMetric:
                                   np.zeros(4, dtype=int))
 
 
+@pytest.mark.parametrize("kind", ["greedy", "lsh"])
 class TestRecoveryAcrossChannels:
     @pytest.mark.parametrize("rate", [0.01, 0.03, 0.06])
-    def test_error_rate_sweep(self, rng, rate):
+    def test_error_rate_sweep(self, rng, rate, kind):
         strands = [random_bases(60, rng) for _ in range(25)]
         truth, predicted, n_clusters = recover(
-            strands, ErrorModel.uniform(rate), FixedCoverage(6), rng
+            strands, ErrorModel.uniform(rate), FixedCoverage(6), rng,
+            kind=kind,
         )
         precision, recall = pair_precision_recall(truth, predicted)
         assert precision == 1.0, "distinct strands must never merge"
@@ -92,16 +105,17 @@ class TestRecoveryAcrossChannels:
         assert n_clusters >= len(strands)
 
     @pytest.mark.parametrize("coverage", [2, 5, 10])
-    def test_coverage_sweep(self, rng, coverage):
+    def test_coverage_sweep(self, rng, coverage, kind):
         strands = [random_bases(60, rng) for _ in range(20)]
         truth, predicted, _ = recover(
-            strands, ErrorModel.uniform(0.05), FixedCoverage(coverage), rng
+            strands, ErrorModel.uniform(0.05), FixedCoverage(coverage),
+            rng, kind=kind,
         )
         precision, recall = pair_precision_recall(truth, predicted)
         assert precision == 1.0
         assert recall > 0.9
 
-    def test_deletion_heavy_channel(self, rng):
+    def test_deletion_heavy_channel(self, rng, kind):
         """The enzymatic-style regime: deletions dominate, so read
         lengths spread — the length-gap prefilter must not split
         clusters."""
@@ -109,13 +123,13 @@ class TestRecoveryAcrossChannels:
                            p_substitution=0.01)
         strands = [random_bases(60, rng) for _ in range(20)]
         truth, predicted, _ = recover(
-            strands, model, GammaCoverage(6, shape=6), rng
+            strands, model, GammaCoverage(6, shape=6), rng, kind=kind
         )
         precision, recall = pair_precision_recall(truth, predicted)
         assert precision == 1.0
         assert recall > 0.9
 
-    def test_skewed_rate_map(self, rng):
+    def test_skewed_rate_map(self, rng, kind):
         """A ramped ErrorRateMap (end-of-strand degradation) keeps
         clusters recoverable: the mean rate matches the uniform case even
         though the tail is much noisier."""
@@ -124,28 +138,28 @@ class TestRecoveryAcrossChannels:
         model = ErrorRateMap.scaled(ErrorModel.uniform(0.05), weights)
         strands = [random_bases(length, rng) for _ in range(20)]
         truth, predicted, _ = recover(
-            strands, model, FixedCoverage(6), rng
+            strands, model, FixedCoverage(6), rng, kind=kind
         )
         precision, recall = pair_precision_recall(truth, predicted)
         assert precision == 1.0
         assert recall > 0.9
 
-    def test_strand_dropout_does_not_confuse_recovery(self, rng):
+    def test_strand_dropout_does_not_confuse_recovery(self, rng, kind):
         """Gamma coverage drops whole strands; the recovered clustering
         simply contains no reads for them and stays pure."""
         strands = [random_bases(60, rng) for _ in range(30)]
         truth, predicted, _ = recover(
             strands, ErrorModel.uniform(0.04),
-            GammaCoverage(3, shape=1.5), rng
+            GammaCoverage(3, shape=1.5), rng, kind=kind
         )
         precision, _ = pair_precision_recall(truth, predicted)
         assert precision == 1.0
 
-    def test_tight_threshold_trades_recall_not_precision(self, rng):
+    def test_tight_threshold_trades_recall_not_precision(self, rng, kind):
         strands = [random_bases(60, rng) for _ in range(15)]
         truth, predicted, _ = recover(
             strands, ErrorModel.uniform(0.08), FixedCoverage(5), rng,
-            threshold=4,
+            threshold=4, kind=kind,
         )
         precision, recall = pair_precision_recall(truth, predicted)
         assert precision == 1.0

@@ -8,7 +8,9 @@ from repro.channel.readbatch import ReadBatch
 from repro.cluster.reference import _qgram_signature as reference_signature
 from repro.cluster.greedy import _qgram_signature as greedy_signature
 from repro.cluster.signatures import (
+    DENSE_SIGNATURE_BYTE_BUDGET,
     batch_signatures,
+    batch_signatures_sparse,
     l1_distances,
     qgram_signature,
     rolling_qgram_codes,
@@ -33,6 +35,21 @@ class TestRollingCodes:
     def test_invalid_q(self):
         with pytest.raises(ValueError):
             rolling_qgram_codes(np.zeros(3, dtype=np.uint8), 0)
+
+    @pytest.mark.parametrize("q", [1, 2, 4, 8])
+    def test_matches_per_character_loop(self, rng, q):
+        """The sliding-window dot product is byte-identical to the naive
+        per-character rolling loop at every q, including the q=8 regime
+        the LSH clusterer runs at."""
+        flat = rng.integers(0, 4, 200).astype(np.uint8)
+        want = np.array(
+            [sum(int(flat[i + j]) * 4 ** (q - 1 - j) for j in range(q))
+             for i in range(flat.size - q + 1)],
+            dtype=np.int64,
+        )
+        got = rolling_qgram_codes(flat, q)
+        assert got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
 
 
 class TestQgramSignature:
@@ -102,6 +119,82 @@ class TestBatchSignatures:
         np.testing.assert_array_equal(
             batch_signatures(triple, 2), batch_signatures(batch, 2)
         )
+
+    def test_memory_guard_refuses_large_q(self, rng):
+        """A dense q=8 matrix for a realistic pool crosses the byte
+        budget — the guard must refuse before allocating."""
+        reads = [rng.integers(0, 4, 40).astype(np.uint8)
+                 for _ in range(5000)]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        # 5000 reads x 4**8 bins x 4 bytes = 1.3 GB > the 1 GB budget.
+        with pytest.raises(ValueError, match="batch_signatures_sparse"):
+            batch_signatures(batch, 8)
+
+    def test_memory_guard_explicit_budget(self, rng):
+        reads = [rng.integers(0, 4, 10).astype(np.uint8) for _ in range(4)]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        with pytest.raises(ValueError, match="budget"):
+            batch_signatures(batch, 3, max_bytes=64)
+        # Raising the budget back over the need allows the same call.
+        assert batch_signatures(
+            batch, 3, max_bytes=DENSE_SIGNATURE_BYTE_BUDGET
+        ).shape == (4, 64)
+
+
+class TestBatchSignaturesSparse:
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_matches_dense(self, rng, q):
+        """The COO triples scatter back to exactly the dense matrix."""
+        lengths = [0, 1, 2, 3, 10, 35, 68]
+        reads = [rng.integers(0, 4, n).astype(np.uint8) for n in lengths]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        dense = batch_signatures(batch, q)
+        read_ids, codes, counts = batch_signatures_sparse(batch, q)
+        rebuilt = np.zeros_like(dense)
+        rebuilt[read_ids, codes] = counts
+        np.testing.assert_array_equal(rebuilt, dense)
+        # Every stored cell is a real (nonzero) count.
+        assert (counts > 0).all()
+
+    def test_triples_sorted_by_read_then_code(self, rng):
+        reads = [rng.integers(0, 4, 30).astype(np.uint8) for _ in range(6)]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        read_ids, codes, _ = batch_signatures_sparse(batch, 2)
+        keys = read_ids * 16 + codes
+        assert (np.diff(keys) > 0).all()
+
+    def test_large_q_stays_read_sized(self, rng):
+        """At q=8 the sparse form holds at most one triple per window —
+        the whole point of not materializing the 65536-bin histogram."""
+        reads = [rng.integers(0, 4, 68).astype(np.uint8)
+                 for _ in range(20)]
+        batch = ReadBatch.from_arrays([[r] for r in reads])
+        read_ids, codes, counts = batch_signatures_sparse(batch, 8)
+        assert read_ids.size <= 20 * (68 - 8 + 1)
+        assert int(counts.sum()) == 20 * (68 - 8 + 1)
+        assert (codes < 4 ** 8).all()
+
+    def test_non_tight_views_match(self, rng):
+        strands = [random_bases(30, rng) for _ in range(8)]
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.05), FixedCoverage(4)
+        )
+        pool = simulator.sequence_batch(strands, rng)
+        view = pool.select_prefix(np.full(len(strands), 2))
+        tight = ReadBatch.from_arrays(
+            [view.reads_of(c) for c in range(view.n_clusters)]
+        )
+        for got, want in zip(batch_signatures_sparse(view, 3),
+                             batch_signatures_sparse(tight, 3)):
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_and_short_reads(self):
+        batch = ReadBatch.from_arrays([])
+        read_ids, codes, counts = batch_signatures_sparse(batch, 3)
+        assert read_ids.size == codes.size == counts.size == 0
+        short = ReadBatch.from_arrays([[np.zeros(2, dtype=np.uint8)]])
+        read_ids, _, _ = batch_signatures_sparse(short, 3)
+        assert read_ids.size == 0
 
 
 class TestL1Distances:

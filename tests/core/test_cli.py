@@ -98,3 +98,25 @@ class TestDecode:
         bad = workspace / "bad.dna"
         bad.write_text("ACGT\n")
         assert main(["decode", str(bad)]) == 1
+
+
+class TestServe:
+    def test_labeled_serve_runs_clean(self, capsys):
+        code = main(["serve", "--objects", "2", "--repeats", "1",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labeled reads" in out
+        assert "clean 2/2" in out
+
+    @pytest.mark.parametrize("kind", ["greedy", "lsh"])
+    def test_pooled_serve_rides_selected_clusterer(self, capsys, kind):
+        code = main(["serve", "--objects", "2", "--repeats", "2",
+                     "--pool", "--clusterer", kind, "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"unlabeled pools, {kind} clusterer" in out
+        # Both passes answer every request correctly; the second from
+        # the cache.
+        assert out.count("clean 2/2") == 2
+        assert "cache 2/2" in out

@@ -74,6 +74,13 @@ CLUSTERING_BUDGET_SECONDS = 2.0
 #: reference on the differential pool below.
 CLUSTERING_SPEEDUP_FACTOR = 5
 
+#: Minimum lead of the LSH-banded clusterer over the batched greedy scan
+#: on the reduced pool below. The gap widens with pool size (the greedy
+#: scan is quadratic at fixed coverage; benchmarks/test_fig_lsh_scaling
+#: measures >5x at 50k reads) — 3x at 1200 reads is the floor a
+#: regression to pool x representative candidate generation cannot meet.
+LSH_SPEEDUP_FACTOR = 3
+
 
 def best_of(repeats, fn):
     """Best-of-N wall time for ``fn()``: the minimum is robust to the
@@ -432,6 +439,53 @@ class TestPerfBudget:
                 f"{CLUSTERING_SPEEDUP_FACTOR}x faster than the string-plane "
                 f"reference ({reference_seconds * 1e3:.0f}ms)"
             )
+
+    @pytest.mark.slow
+    def test_lsh_clustering_beats_batched_greedy(self):
+        """The LSH-banded clusterer must lead the exact greedy scan on a
+        quickstart-channel pool while recovering the same-quality
+        clustering. 200 strands x coverage 6 (1200 reads) keeps the
+        greedy side fast enough for the suite; the scaling benchmark
+        carries the 50k-read evidence where the lead exceeds the 5x
+        acceptance floor."""
+        from repro.cluster import (
+            BatchedGreedyClusterer, LSHClusterer, pair_precision_recall,
+        )
+        from repro.codec.basemap import random_bases
+
+        rng = np.random.default_rng(17)
+        strands = [random_bases(68, rng) for _ in range(200)]
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.06), FixedCoverage(6)
+        )
+        labeled = simulator.sequence_batch(strands, rng)
+        permutation = rng.permutation(labeled.n_reads)
+        truth = labeled.cluster_ids[permutation]
+        pool = labeled.pooled()
+        pool = type(pool)(
+            pool.buffer, pool.offsets[permutation],
+            pool.lengths[permutation], pool.cluster_ids,
+            n_clusters=pool.n_clusters,
+        )
+        lsh = LSHClusterer.for_strand_length(68)
+        greedy = BatchedGreedyClusterer.for_strand_length(68)
+        small = pool.select_prefix(np.array([100]))
+        lsh.cluster_batch(small)  # warm-up
+        greedy.cluster_batch(small)
+
+        lsh_seconds, (predicted, _) = best_of(
+            3, lambda: lsh.assign(pool)
+        )
+        greedy_seconds, _ = best_of(3, lambda: greedy.assign(pool))
+
+        precision, recall = pair_precision_recall(truth, predicted)
+        assert precision == 1.0, "LSH merges are DP-verified; never wrong"
+        assert recall > 0.95
+        assert lsh_seconds * LSH_SPEEDUP_FACTOR < greedy_seconds, (
+            f"LSH clustering ({lsh_seconds * 1e3:.0f}ms) is not "
+            f"{LSH_SPEEDUP_FACTOR}x faster than the batched greedy scan "
+            f"({greedy_seconds * 1e3:.0f}ms)"
+        )
 
     @pytest.mark.slow
     def test_unlabeled_quickstart_pool_clusters_and_decodes_within_budget(self):

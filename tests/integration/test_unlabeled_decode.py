@@ -18,7 +18,7 @@ from repro.channel import (
     GammaCoverage,
     SequencingSimulator,
 )
-from repro.cluster import BatchedGreedyClusterer
+from repro.cluster import BatchedGreedyClusterer, LSHClusterer
 from repro.consensus import PosteriorReconstructor
 from repro.core import DnaStoragePipeline, MatrixConfig, PipelineConfig
 from repro.core.store import DnaStore
@@ -95,6 +95,29 @@ class TestStorePoolDecode:
         unlabeled = simulator.sequence_store(image, rng=9, labeled=False)
         want, _ = store.decode(labeled, bits.size)
         got, report = store.decode_pool(unlabeled, bits.size)
+        assert report.clean
+        np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(got, bits)
+
+    def test_lsh_clusterer_matches_labeled_decode_payload(self):
+        """The LSH-banded path is a drop-in for the greedy scan on the
+        retrieval workload: the unlabeled decode it clusters comes back
+        byte-identical to the labeled (perfect-clustering) decode."""
+        store = DnaStore(PipelineConfig(matrix=MATRIX))
+        bits = payload_for(store, units=2, trim=3)
+        image = store.encode(bits)
+        simulator = SequencingSimulator(
+            ErrorModel.uniform(0.03), FixedCoverage(6)
+        )
+        labeled = simulator.sequence_store(image, rng=9)
+        unlabeled = simulator.sequence_store(image, rng=9, labeled=False)
+        clusterer = LSHClusterer.for_strand_length(
+            store.pipeline.matrix_config.strand_length
+        )
+        want, _ = store.decode(labeled, bits.size)
+        got, report = store.decode_pool(
+            unlabeled, bits.size, clusterer=clusterer
+        )
         assert report.clean
         np.testing.assert_array_equal(got, want)
         np.testing.assert_array_equal(got, bits)

@@ -255,6 +255,42 @@ class TestMultiUnitAndPooled:
                 result.bits, expected[result.object_id]
             )
 
+    def test_pooled_tick_rides_injected_lsh_clusterer(self):
+        """``put(..., clusterer=...)`` threads an LSH clusterer through
+        the tick; objects sharing one clusterer share ONE cluster_pools
+        call, and the answers stay byte-correct."""
+        from repro.cluster import LSHClusterer
+
+        pools_calls = []
+
+        class CountingLSH(LSHClusterer):
+            def cluster_pools(self, batch, pool_boundaries=None):
+                pools_calls.append(batch.n_reads)
+                return super().cluster_pools(batch, pool_boundaries)
+
+        store = make_store()
+        pooled = make_objects(store, 2, seed=9, labeled=False)
+        clusterer = CountingLSH.for_strand_length(
+            store.pipeline.matrix_config.strand_length
+        )
+        service = StoreService(store)
+        for oid, (reads, bits) in pooled.items():
+            service.put(oid, reads, bits.size, pool=True,
+                        clusterer=clusterer)
+            service.submit(oid)
+        results = service.tick()
+        assert len(results) == 2
+        # One coalesced clustering pass over both objects' pools.
+        assert len(pools_calls) == 1
+        assert pools_calls[0] == sum(
+            reads.n_reads for reads, _ in pooled.values()
+        )
+        for result in results:
+            assert result.clean
+            np.testing.assert_array_equal(
+                result.bits, pooled[result.object_id][1]
+            )
+
 
 class TestTelemetry:
     def test_tick_span_counters_and_manifest(self, served):
