@@ -80,6 +80,25 @@ def main() -> None:
           f"clean={result.report.clean} "
           f"erasures={result.report.total_erased_columns}")
 
+    # Ops finale: run the same retrieval as a *service* and read its
+    # live health — the serving plane keeps always-on telemetry (no
+    # tracer needed), and health() rolls it up with SLO verdicts.
+    from repro import StoreService
+
+    service = StoreService(store, cache_capacity=64, batch_window=8)
+    service.put(f"file-{target}", selected, payloads[target].size,
+                pool=True, clusterer=BatchedGreedyClusterer(threshold=10))
+    for _ in range(3):
+        service.submit(f"file-{target}")
+        service.tick()
+    health = service.health()
+    print("service " + health.summary())
+    print("  checks: " + ", ".join(
+        f"{name}={verdict}" for name, verdict in sorted(health.checks.items())
+    ))
+    print(f"  events: {service.events.emitted} emitted "
+          f"({len(service.events.records('complete'))} completions)")
+
 
 if __name__ == "__main__":
     main()

@@ -198,6 +198,26 @@ store gives the same amortization without the queue; the ``service.tick``
 spans/counters land in run manifests like every other stage, and
 ``benchmarks/test_service_throughput.py`` drift-gates requests/sec and
 p50/p99 latency vs the batch window in CI.
+
+A *live* service also answers "how is it doing right now", without any
+recording tracer: the plane keeps an always-on metric registry
+(request/answer counters, queue-depth gauge, bounded-memory
+``TimingHistogram`` latency distributions with p50/p95/p99 estimates),
+a structured JSON-lines ``EventLog`` (submit / coalesce / decode /
+cache_hit / complete records keyed by monotonically assigned request
+ids), and a ``SlidingWindow`` so rates and quantiles cover the recent
+window rather than process lifetime::
+
+    health = service.health()        # one SLO-checked snapshot
+    health.verdict                   # "ok" | "degraded" | "unhealthy"
+    health.requests_per_second, health.p99_seconds, health.cache_hit_rate
+    render_prometheus(service.metrics)   # text exposition for a scraper
+
+``python -m repro.cli metrics`` dumps the exposition (validated by a
+render/parse round trip), ``repro.cli top`` is the refreshing console
+view, and ``repro.cli serve`` closes with the health line. The
+``NullTracer`` decode path is untouched: live telemetry lives beside
+the tracer, not inside it.
 """
 
 from repro.channel import (

@@ -1,11 +1,13 @@
 """Command-line interface: encode files to DNA and decode them back.
 
-The CLI wraps the archive + pipeline stack into four commands::
+The CLI wraps the archive + pipeline stack into six commands::
 
     python -m repro.cli encode --layout gini -o store.dna photo1.jpg notes.txt
     python -m repro.cli decode store.dna -d restored/
     python -m repro.cli report run.json [baseline.json]
     python -m repro.cli serve --objects 32 --window 8
+    python -m repro.cli metrics --objects 8 -o metrics.prom
+    python -m repro.cli top --frames 5 --interval 1
 
 ``encode`` packs the input files into an archive, encodes it into one or
 more encoding units, and writes a textual ``.dna`` file with one strand
@@ -19,7 +21,13 @@ runs a synthetic random-access serving demo: it encodes and sequences a
 corpus of objects, drives them through the coalescing
 :class:`~repro.service.StoreService`, and prints requests/sec, p50/p99
 latency and the cache hit rate per pass (pass 2+ answers from the
-decoded-unit cache).
+decoded-unit cache), closing with a
+:class:`~repro.observability.export.ServiceHealth` line. ``metrics``
+runs the same demo and dumps the service's always-on metric registry in
+Prometheus text exposition format — validated by a render/parse
+round-trip before anything is printed. ``top`` is the live console
+view: one corpus pass per frame, each frame printing the sliding-window
+health snapshot (req/s, p50/p99, cache hit rate, SLO verdicts).
 
 The strand file is deliberately human-readable: the point of the format
 is to make the pipeline's output inspectable, not to be efficient.
@@ -205,9 +213,13 @@ def _report(args) -> int:
     return 0
 
 
-def _serve(args) -> int:
-    import time
+def _build_demo_service(args, announce: bool = True):
+    """The synthetic serving demo shared by serve/metrics/top.
 
+    Builds a store + :class:`~repro.service.StoreService`, encodes and
+    sequences ``args.objects`` single-unit objects, and registers them
+    as ``obj0..objN-1``. Returns the service.
+    """
     import numpy as np
 
     from repro.channel import FixedCoverage
@@ -243,22 +255,38 @@ def _serve(args) -> int:
                                          labeled=not args.pool)
         service.put(f"obj{k}", reads, bits.size, pool=args.pool,
                     clusterer=clusterer)
-    mode = (f"unlabeled pools, {args.clusterer} clusterer" if args.pool
-            else "labeled reads")
-    print(
-        f"registered {args.objects} objects "
-        f"({store.unit_capacity_bits} bits each, "
-        f"{args.error_rate:.1%} errors, coverage {args.coverage}, {mode}); "
-        f"window={args.window}, cache={args.cache}"
-    )
+    if announce:
+        mode = (f"unlabeled pools, {args.clusterer} clusterer" if args.pool
+                else "labeled reads")
+        print(
+            f"registered {args.objects} objects "
+            f"({store.unit_capacity_bits} bits each, "
+            f"{args.error_rate:.1%} errors, coverage {args.coverage}, "
+            f"{mode}); window={args.window}, cache={args.cache}"
+        )
+    return service
+
+
+def _run_demo_pass(service, n_objects: int):
+    """Submit one full corpus pass and tick the queue dry."""
+    for k in range(n_objects):
+        service.submit(f"obj{k}")
+    results = []
+    while service.queue_depth:
+        results.extend(service.tick())
+    return results
+
+
+def _serve(args) -> int:
+    import time
+
+    import numpy as np
+
+    service = _build_demo_service(args)
 
     for pass_no in range(1, args.repeats + 1):
         start = time.perf_counter()
-        for k in range(args.objects):
-            service.submit(f"obj{k}")
-        results = []
-        while service.queue_depth:
-            results.extend(service.tick())
+        results = _run_demo_pass(service, args.objects)
         elapsed = time.perf_counter() - start
         latencies = np.asarray([r.seconds for r in results]) * 1e3
         hits = sum(r.cache_hit for r in results)
@@ -270,6 +298,51 @@ def _serve(args) -> int:
             f"  cache {hits}/{len(results)}"
             f"  clean {clean}/{len(results)}"
         )
+    print(service.health().summary())
+    if args.events:
+        path = service.events.save(args.events)
+        print(f"wrote {service.events.emitted} events to {path}")
+    return 0
+
+
+def _metrics(args) -> int:
+    """One-shot metrics exposition dump (render + parse validated)."""
+    from repro.observability import verify_roundtrip
+
+    service = _build_demo_service(args, announce=False)
+    for _ in range(args.repeats):
+        _run_demo_pass(service, args.objects)
+    try:
+        text = verify_roundtrip(service.metrics)
+    except ValueError as exc:
+        print(f"error: exposition round-trip failed: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(text.splitlines())} exposition lines "
+              f"to {args.output}")
+    else:
+        print(text, end="")
+    if args.events:
+        service.events.save(args.events)
+        print(f"wrote {service.events.emitted} events to {args.events}",
+              file=sys.stderr)
+    return 0
+
+
+def _top(args) -> int:
+    """Periodically refreshed console health view of the serving demo."""
+    import time
+
+    service = _build_demo_service(args)
+    for frame in range(1, args.frames + 1):
+        _run_demo_pass(service, args.objects)
+        health = service.health()
+        print(f"frame {frame}/{args.frames}  {health.summary()}")
+        for check, verdict in sorted(health.checks.items()):
+            print(f"    {check:10s} {verdict}")
+        if args.interval > 0 and frame < args.frames:
+            time.sleep(args.interval)
     return 0
 
 
@@ -331,35 +404,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=_report)
 
+    def add_demo_options(command, objects: int = 32):
+        """The synthetic serving-demo knobs shared by serve/metrics/top."""
+        command.add_argument("--objects", type=int, default=objects,
+                             help="corpus size (single-unit objects)")
+        command.add_argument("--window", type=int, default=8,
+                             help="requests coalesced into one decode "
+                                  "per tick")
+        command.add_argument("--repeats", type=int, default=2,
+                             help="full passes over the corpus "
+                                  "(pass 2+ answers from the cache)")
+        command.add_argument("--cache", type=int, default=1024,
+                             help="decoded-unit cache capacity "
+                                  "(0 disables)")
+        command.add_argument("--symbol-bits", type=int, default=8)
+        command.add_argument("--molecules", type=int, default=24)
+        command.add_argument("--redundancy", type=int, default=4)
+        command.add_argument("--rows", type=int, default=6)
+        command.add_argument("--error-rate", type=float, default=0.01)
+        command.add_argument("--coverage", type=int, default=5)
+        command.add_argument("--pool", action="store_true",
+                             help="register objects as unlabeled per-unit "
+                                  "pools (reads are clustered at decode "
+                                  "time)")
+        command.add_argument("--clusterer", default="greedy",
+                             choices=["greedy", "lsh"],
+                             help="clusterer pooled objects ride (with "
+                                  "--pool): the exact greedy scan, or "
+                                  "sub-linear LSH banding for large pools")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--events", default=None,
+                             help="also write the service's structured "
+                                  "event log (JSON lines) to this path")
+
     serve = sub.add_parser(
         "serve",
         help="demo the random-access serving plane on synthetic objects",
     )
-    serve.add_argument("--objects", type=int, default=32,
-                       help="corpus size (single-unit objects)")
-    serve.add_argument("--window", type=int, default=8,
-                       help="requests coalesced into one decode per tick")
-    serve.add_argument("--repeats", type=int, default=2,
-                       help="full passes over the corpus "
-                            "(pass 2+ answers from the cache)")
-    serve.add_argument("--cache", type=int, default=1024,
-                       help="decoded-unit cache capacity (0 disables)")
-    serve.add_argument("--symbol-bits", type=int, default=8)
-    serve.add_argument("--molecules", type=int, default=24)
-    serve.add_argument("--redundancy", type=int, default=4)
-    serve.add_argument("--rows", type=int, default=6)
-    serve.add_argument("--error-rate", type=float, default=0.01)
-    serve.add_argument("--coverage", type=int, default=5)
-    serve.add_argument("--pool", action="store_true",
-                       help="register objects as unlabeled per-unit pools "
-                            "(reads are clustered at decode time)")
-    serve.add_argument("--clusterer", default="greedy",
-                       choices=["greedy", "lsh"],
-                       help="clusterer pooled objects ride (with --pool): "
-                            "the exact greedy scan, or sub-linear LSH "
-                            "banding for large pools")
-    serve.add_argument("--seed", type=int, default=0)
+    add_demo_options(serve)
     serve.set_defaults(func=_serve)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the serving demo and dump its metrics registry in "
+             "Prometheus text exposition format (round-trip validated)",
+    )
+    add_demo_options(metrics, objects=8)
+    metrics.add_argument("-o", "--output", default=None,
+                         help="write the exposition to this file instead "
+                              "of stdout")
+    metrics.set_defaults(func=_metrics)
+
+    top = sub.add_parser(
+        "top",
+        help="periodically refreshed console health view of the "
+             "serving demo",
+    )
+    add_demo_options(top, objects=8)
+    top.add_argument("--frames", type=int, default=5,
+                     help="health frames to print (one corpus pass each)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between frames (0 = no sleep)")
+    top.set_defaults(func=_top)
     return parser
 
 

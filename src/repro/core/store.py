@@ -138,6 +138,10 @@ class ReadRequest:
             (sub-linear candidate generation for large pools).
         object_id: opaque caller tag, copied onto the result (the
             service plane keys its queue and cache on it).
+        request_id: opaque per-request tag, also copied onto the
+            result — the service plane stamps its monotonically
+            assigned ticket numbers here so a result can be joined
+            against the structured event log.
     """
 
     reads: StoreReads
@@ -148,6 +152,7 @@ class ReadRequest:
     confidence_threshold: Optional[float] = None
     clusterer: Optional[PoolClusterer] = None
     object_id: Optional[object] = None
+    request_id: Optional[int] = None
 
 
 @dataclass
@@ -162,6 +167,8 @@ class ReadResult:
         bits: the decoded payload.
         report: per-unit decode outcomes.
         object_id: echoed from the request.
+        request_id: echoed from the request (the service plane's ticket
+            number — the join key into its event log).
         cache_hit: True when the service plane answered entirely from
             its decoded-unit cache (no pipeline work).
         seconds: wall-clock serve time (queue wait included when the
@@ -171,6 +178,7 @@ class ReadResult:
     bits: np.ndarray
     report: StoreReport
     object_id: Optional[object] = None
+    request_id: Optional[int] = None
     cache_hit: bool = False
     seconds: float = 0.0
 
@@ -285,7 +293,8 @@ class DnaStore:
             served = self._read_many_impl(requests)
         self._emit_manifest(tracer, span_name)
         return [
-            ReadResult(bits=bits, report=report, object_id=request.object_id)
+            ReadResult(bits=bits, report=report, object_id=request.object_id,
+                       request_id=request.request_id)
             for request, (bits, report, _) in zip(requests, served)
         ]
 

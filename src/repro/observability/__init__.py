@@ -18,7 +18,16 @@ without de-batching anything:
   times, metric snapshot, environment) serialized to JSON with a
   machine-checkable validator;
 * :mod:`repro.observability.report` — a text/markdown renderer and a
-  manifest differ, also exposed as ``python -m repro.cli report``.
+  manifest differ, also exposed as ``python -m repro.cli report``;
+* :mod:`repro.observability.events` — :class:`EventLog`, the serving
+  plane's structured JSON-lines request trace (submit / coalesce /
+  decode / cache_hit / complete records keyed by request id);
+* :mod:`repro.observability.export` — the live-service surface:
+  Prometheus text exposition of any registry
+  (:func:`render_prometheus` / :func:`parse_prometheus` /
+  :func:`verify_roundtrip`, behind ``python -m repro.cli metrics``) and
+  :class:`ServiceHealth` snapshots with SLO verdicts
+  (:func:`capture_health`, behind ``python -m repro.cli top``).
 
 Typical use::
 
@@ -38,6 +47,16 @@ With no tracer activated, every instrumented call site sees the shared
 untraced run (pinned by ``tests/integration/test_perf_budget.py``).
 """
 
+from repro.observability.events import EventLog
+from repro.observability.export import (
+    SLOThresholds,
+    ServiceHealth,
+    capture_health,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    verify_roundtrip,
+)
 from repro.observability.manifest import (
     ManifestError,
     RunManifest,
@@ -52,6 +71,8 @@ from repro.observability.metrics import (
     Histogram,
     MetricRegistry,
     NULL_REGISTRY,
+    SlidingWindow,
+    TimingHistogram,
 )
 from repro.observability.report import diff_manifests, render_manifest
 from repro.observability.trace import (
@@ -77,6 +98,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimingHistogram",
+    "SlidingWindow",
     "MetricRegistry",
     "NULL_REGISTRY",
     # manifest
@@ -89,4 +112,14 @@ __all__ = [
     # report
     "render_manifest",
     "diff_manifests",
+    # events
+    "EventLog",
+    # export
+    "render_prometheus",
+    "parse_prometheus",
+    "verify_roundtrip",
+    "sanitize_metric_name",
+    "ServiceHealth",
+    "SLOThresholds",
+    "capture_health",
 ]

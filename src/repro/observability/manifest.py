@@ -104,7 +104,7 @@ class RunManifest:
     spans: List[dict] = field(default_factory=list)
     truncated_roots: int = 0
     metrics: dict = field(default_factory=lambda: {
-        "counters": {}, "gauges": {}, "histograms": {},
+        "counters": {}, "gauges": {}, "histograms": {}, "timings": {},
     })
     environment: dict = field(default_factory=environment_info)
     schema: int = SCHEMA_VERSION
@@ -323,6 +323,32 @@ def validate_manifest(data: dict) -> dict:
                 else:
                     _check(problems, isinstance(value, (int, float)),
                            f"{where}: must be a number")
+        # The timing-histogram block is optional (older manifests
+        # predate it) but must be well-formed when present.
+        timings = metrics.get("timings") if isinstance(metrics, dict) \
+            else None
+        if timings is not None and _check(
+            problems, isinstance(timings, dict),
+            "metrics.timings must be a dict",
+        ):
+            for name, entry in timings.items():
+                where = f"metrics.timings[{name!r}]"
+                if not _check(problems, isinstance(entry, dict),
+                              f"{where}: not a dict"):
+                    continue
+                count = entry.get("count")
+                _check(problems, isinstance(count, int) and count >= 0,
+                       f"{where}: count must be a non-negative integer")
+                _check(problems,
+                       isinstance(entry.get("sum"), (int, float)),
+                       f"{where}: sum must be a number")
+                buckets = entry.get("buckets", {})
+                ok = isinstance(buckets, dict) and all(
+                    isinstance(v, int) for v in buckets.values()
+                )
+                _check(problems, ok,
+                       f"{where}: buckets must map boundaries to "
+                       "integer counts")
 
     env = data.get("environment")
     if _check(problems, isinstance(env, dict),

@@ -100,6 +100,27 @@ def render_manifest(manifest: Union[RunManifest, dict]) -> str:
             [[name, str(value)] for name, value in sorted(gauges.items())],
         ))
 
+    timings = m.metrics.get("timings", {})
+    if timings:
+        lines.append("")
+        lines.append("## Timings")
+        lines.append("")
+        rows = []
+        for name, entry in sorted(timings.items()):
+            count = int(entry.get("count", 0))
+            mean = float(entry.get("sum", 0.0)) / count if count else 0.0
+            rows.append([
+                name,
+                str(count),
+                f"{mean:.6f}",
+                f"{float(entry.get('p50', 0.0)):.6f}",
+                f"{float(entry.get('p95', 0.0)):.6f}",
+                f"{float(entry.get('p99', 0.0)):.6f}",
+            ])
+        lines.extend(_table(
+            ["timing", "count", "mean s", "p50 s", "p95 s", "p99 s"], rows,
+        ))
+
     histograms = m.metrics.get("histograms", {})
     if histograms:
         lines.append("")

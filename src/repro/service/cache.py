@@ -65,6 +65,26 @@ class DecodedUnitCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def stats(self) -> dict:
+        """Always-on cache statistics as a plain dict.
+
+        Lifetime ``hits``/``misses``/``evictions`` totals, the current
+        ``size``/``capacity``, and the derived ``hit_rate`` (0.0 before
+        any lookup). No tracer required — these counters are maintained
+        on every :meth:`get`/:meth:`put` regardless of observability
+        state, and :meth:`~repro.service.plane.StoreService.health`
+        folds them into its snapshot.
+        """
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
     def invalidate(self, object_id) -> int:
         """Eagerly drop every entry of ``object_id`` (any epoch).
 

@@ -133,6 +133,27 @@ class TestValidation:
         with pytest.raises(ManifestError, match="histograms"):
             validate_manifest(data)
 
+    def test_timings_block_is_optional_but_checked(self):
+        # Older manifests predate the timing-histogram block: absent is
+        # fine (backward compat with committed baselines) ...
+        data = self.valid()
+        data["metrics"].pop("timings", None)
+        assert validate_manifest(data) is data
+        # ... present and well-formed is fine ...
+        data["metrics"]["timings"] = {
+            "lat": {"count": 2, "sum": 0.5,
+                    "buckets": {"0.001": 1, "+Inf": 1}},
+        }
+        assert validate_manifest(data) is data
+        # ... malformed is rejected.
+        data["metrics"]["timings"]["lat"]["count"] = -1
+        with pytest.raises(ManifestError, match="count"):
+            validate_manifest(data)
+        data["metrics"]["timings"] = {"lat": {"count": 1, "sum": 0.1,
+                                              "buckets": {"0.1": "x"}}}
+        with pytest.raises(ManifestError, match="buckets"):
+            validate_manifest(data)
+
     def test_rejects_missing_environment_key(self):
         data = self.valid()
         del data["environment"]["numpy"]

@@ -33,7 +33,8 @@ class TestNullPath:
         NULL_TRACER.metrics.gauge("y").set(2)
         NULL_TRACER.metrics.histogram("z").observe("label")
         snapshot = NULL_TRACER.metrics.snapshot()
-        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {},
+                            "timings": {}}
 
 
 class TestActivation:

@@ -88,3 +88,21 @@ class TestInvalidation:
         cache.put("a", 0, 0, entry("a"))
         cache.clear()
         assert len(cache) == 0
+
+
+class TestStats:
+    def test_stats_track_every_lookup_and_eviction(self):
+        cache = DecodedUnitCache(capacity=2)
+        cache.get("a", 0, 0)                 # miss
+        cache.put("a", 0, 0, entry("a"))
+        cache.get("a", 0, 0)                 # hit
+        cache.put("b", 0, 0, entry("b"))
+        cache.put("c", 0, 0, entry("c"))     # evicts "a"
+        stats = cache.stats()
+        assert stats == {
+            "size": 2, "capacity": 2, "hits": 1, "misses": 1,
+            "evictions": 1, "hit_rate": 0.5,
+        }
+
+    def test_hit_rate_defined_before_any_lookup(self):
+        assert DecodedUnitCache(capacity=4).stats()["hit_rate"] == 0.0

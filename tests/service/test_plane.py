@@ -319,3 +319,177 @@ class TestTelemetry:
         span = tracer.roots[0].find("service.tick")
         assert span.attributes["n_requests"] == n
         assert span.attributes["n_objects"] == n
+
+
+class TestLiveTelemetry:
+    """Always-on service stats: no recording tracer anywhere in here."""
+
+    def test_request_ids_are_monotonic_and_echoed(self, served):
+        _, service, objects = served
+        tickets = [service.submit(oid) for oid in objects]
+        assert tickets == list(range(len(objects)))
+        results = service.tick()
+        assert [r.request_id for r in results] == tickets
+
+    def test_always_on_metrics_without_tracer(self, served):
+        _, service, objects = served
+        n = len(objects)
+        for _ in range(2):
+            for oid in objects:
+                service.submit(oid)
+            service.tick()
+        snapshot = service.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["service.submits"] == 2 * n
+        assert counters["service.requests"] == 2 * n
+        assert counters["service.answers"] == 2 * n
+        assert counters["service.ticks"] == 2
+        assert counters["service.cache_unit_misses"] == n
+        assert counters["service.cache_unit_hits"] == n
+        assert snapshot["gauges"]["service.queue_depth"] == 0
+        assert snapshot["gauges"]["service.cache_size"] == n
+        timing = snapshot["timings"]["service.request_seconds"]
+        assert timing["count"] == 2 * n
+        assert timing["p99"] >= timing["p50"] > 0
+        assert snapshot["timings"]["service.queue_wait_seconds"][
+            "count"] == 2 * n
+        # One cold coalesced decode -> exactly one decode observation.
+        assert snapshot["timings"]["service.decode_seconds"]["count"] == 1
+        assert snapshot["histograms"]["service.read_outcomes"] == {
+            "clean": 2 * n,
+        }
+
+    def test_cache_stats_always_on(self, served):
+        _, service, objects = served
+        n = len(objects)
+        assert service.cache.stats() == {
+            "size": 0, "capacity": 64, "hits": 0, "misses": 0,
+            "evictions": 0, "hit_rate": 0.0,
+        }
+        for _ in range(2):
+            for oid in objects:
+                service.submit(oid)
+            service.tick()
+        stats = service.cache.stats()
+        assert stats["size"] == n
+        assert stats["misses"] == n   # cold pass
+        assert stats["hits"] == n     # warm pass
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["evictions"] == 0
+
+    def test_eviction_counter_reaches_registry(self, served):
+        store, _, objects = served
+        service = StoreService(store, cache_capacity=2)
+        for oid, (reads, bits) in objects.items():
+            service.put(oid, reads, bits.size)
+        for oid in objects:  # 6 objects through a 2-entry cache
+            service.submit(oid)
+        service.tick()
+        assert service.cache.stats()["evictions"] > 0
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["service.cache_evictions"] == \
+            service.cache.stats()["evictions"]
+
+    def test_event_log_records_request_lifecycle(self, served):
+        _, service, objects = served
+        oid = next(iter(objects))
+        ticket = service.submit(oid)
+        service.tick()
+        service.submit(oid)
+        service.tick()  # warm: no decode event this time
+
+        submits = service.events.records("submit")
+        assert submits[0]["request_id"] == ticket
+        assert submits[0]["object_id"] == oid
+        assert submits[0]["queue_depth"] == 1
+
+        coalesces = service.events.records("coalesce")
+        assert [e["tick"] for e in coalesces] == [0, 1]
+        assert coalesces[0] == {
+            **coalesces[0], "n_requests": 1, "n_objects": 1,
+        }
+
+        decodes = service.events.records("decode")
+        assert len(decodes) == 1
+        assert decodes[0]["object_id"] == oid
+        assert decodes[0]["seconds"] > 0
+
+        assert [e["object_id"] for e in
+                service.events.records("cache_hit")] == [oid]
+
+        completes = service.events.records("complete")
+        assert len(completes) == 2
+        cold, warm = completes
+        assert cold["request_id"] == ticket
+        assert cold["cache_hit"] is False and warm["cache_hit"] is True
+        assert cold["clean"] is True
+        assert cold["decode_seconds"] > 0
+        assert warm["decode_seconds"] == 0.0
+        for record in completes:
+            assert record["seconds"] >= record["queue_wait_seconds"]
+
+    def test_event_log_file_sink(self, served, tmp_path):
+        from repro.observability import EventLog
+
+        store, _, objects = served
+        path = tmp_path / "events.jsonl"
+        service = StoreService(store, event_log=EventLog(path=path))
+        for oid, (reads, bits) in objects.items():
+            service.put(oid, reads, bits.size)
+        service.submit(next(iter(objects)))
+        service.tick()
+        service.events.close()
+        kinds = [r["event"] for r in EventLog.load_jsonl(path)]
+        assert kinds[0] == "submit"
+        assert "complete" in kinds
+
+    def test_health_snapshot_and_verdict_flip(self, served):
+        from repro.observability import SLOThresholds
+
+        _, service, objects = served
+        for _ in range(2):
+            for oid in objects:
+                service.submit(oid)
+            service.tick()
+        health = service.health()
+        assert health.verdict == "ok"
+        assert health.failure_rate == 0.0
+        assert health.cache_hit_rate == pytest.approx(0.5)
+        assert health.p99_seconds >= health.p50_seconds > 0
+        assert health.requests_per_second > 0
+        assert health.queue_depth == 0
+
+        # The same service under an impossible SLO flips the verdict —
+        # the check evaluates thresholds, not vibes.
+        strict = service.health(slo=SLOThresholds(
+            degraded_p99_seconds=1e-9, unhealthy_p99_seconds=1e-8,
+        ))
+        assert strict.checks["latency"] == "unhealthy"
+        assert strict.verdict == "unhealthy"
+
+    def test_health_window_forgets_old_latency(self, served):
+        _, service, objects = served
+        service.window.n_intervals  # sanity: window exists
+        for oid in objects:
+            service.submit(oid)
+        service.tick()
+        cold = service.health()           # interval 1: cold decode pass
+        for _ in range(12):               # push the cold interval out
+            for oid in objects:
+                service.submit(oid)
+            service.tick()
+            service.health()
+        warm = service.health()
+        assert warm.p99_seconds < cold.p99_seconds
+        assert warm.cache_hit_rate > 0.9  # lifetime stats, mostly warm
+
+    def test_null_tracer_registry_untouched_by_serving(self, served):
+        from repro.observability import NULL_REGISTRY
+
+        _, service, objects = served
+        for oid in objects:
+            service.submit(oid)
+        service.tick()
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "timings": {},
+        }
